@@ -1,0 +1,37 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one of the paper's tables/figures and records its
+rows under ``benchmarks/results/`` so EXPERIMENTS.md can cite actual numbers.
+
+Horizons: benchmarks default to 200 simulated seconds per run (the dynamics
+have a ~60 s warmup and are periodic after that).  ``REPRO_FULL=1`` runs the
+paper's full 1200 s; ``REPRO_DURATION=<s>`` picks anything else.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_duration(fallback: float = 200.0) -> float:
+    """Simulated seconds per run (see module docstring)."""
+    if os.environ.get("REPRO_FULL"):
+        return 1200.0
+    env = os.environ.get("REPRO_DURATION")
+    return float(env) if env else fallback
+
+
+@pytest.fixture
+def record_rows():
+    """Persist a benchmark's result rows as JSON for EXPERIMENTS.md."""
+
+    def _record(name: str, rows) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        with open(RESULTS_DIR / f"{name}.json", "w") as f:
+            json.dump(rows, f, indent=2, default=str)
+
+    return _record

@@ -1,0 +1,44 @@
+"""Ablation — the back-off interval controls stability.
+
+Paper: "These results clearly indicate that the subscription level is fairly
+stable over time and can be controlled using the back-off interval."
+
+Sweep the back-off range on Topology A: longer back-offs mean fewer probes,
+hence fewer subscription changes (at the cost of slower re-exploration).
+"""
+
+import pytest
+
+from conftest import bench_duration
+from repro.core.config import TopoSenseConfig
+from repro.experiments.topologies import build_topology_a
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_backoff_sweep(benchmark, record_rows):
+    duration = bench_duration(300.0)
+
+    def sweep():
+        rows = []
+        for lo, hi in ((5.0, 10.0), (15.0, 45.0), (60.0, 120.0)):
+            cfg = TopoSenseConfig(backoff_min=lo, backoff_max=hi)
+            sc = build_topology_a(n_receivers=4, traffic="cbr", seed=4, config=cfg)
+            result = sc.run(duration)
+            changes, gap = result.stability()
+            rows.append(
+                {
+                    "backoff": f"{lo:g}-{hi:g}s",
+                    "max_changes": changes,
+                    "mean_gap_s": gap,
+                    "deviation": result.mean_deviation(min(60.0, duration / 4)),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_rows("ablation_backoff", rows)
+
+    # Longer back-off -> no more changes than the shortest setting.
+    assert rows[2]["max_changes"] <= rows[0]["max_changes"], rows
+    # And spacing between changes grows.
+    assert rows[2]["mean_gap_s"] >= rows[0]["mean_gap_s"], rows

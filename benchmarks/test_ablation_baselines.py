@@ -1,0 +1,69 @@
+"""Ablation — the value of topology information.
+
+Runs Topology A under four controllers.  Expected ordering (the repo's
+headline comparison, DESIGN.md §5):
+
+* the **oracle** (true capacities) is best;
+* **TopoSense** approaches it using only loss reports + tree topology;
+* **RLM** (topology-blind receiver-driven probing) tracks the optimum too,
+  but with several times more subscription changes — receivers probe
+  independently and cannot coordinate their exploration;
+* a **static** full-rate subscription is worst: it drowns the narrowband
+  class in sustained loss forever.
+"""
+
+import pytest
+
+from conftest import bench_duration
+from repro.baselines.oracle import OracleController
+from repro.baselines.static import StaticController
+from repro.experiments.topologies import build_topology_a
+
+
+def run_variant(name: str, duration: float, seed: int = 21):
+    kwargs = dict(n_receivers=4, traffic="vbr", peak_to_mean=3, seed=seed)
+    if name == "rlm":
+        sc = build_topology_a(receiver_mode="rlm", **kwargs)
+    elif name == "static":
+        sc = build_topology_a(algorithm=StaticController(level=4), **kwargs)
+    elif name == "oracle":
+        probe = build_topology_a(**kwargs)
+        oracle = OracleController(probe.network, list(probe.plans.values()))
+        sc = build_topology_a(algorithm=oracle, **kwargs)
+    else:
+        sc = build_topology_a(**kwargs)
+    result = sc.run(duration)
+    warmup = min(60.0, duration / 4)
+    b_loss = [
+        h.receiver.loss_series.mean(warmup, duration)
+        for h in sc.receivers if h.receiver_id.startswith("B")
+    ]
+    return {
+        "controller": name,
+        "deviation": result.mean_deviation(warmup),
+        "worst_changes": result.stability()[0],
+        "narrowband_loss": sum(b_loss) / len(b_loss),
+    }
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_baseline_comparison(benchmark, record_rows):
+    duration = bench_duration()
+
+    def run_all():
+        return {v: run_variant(v, duration) for v in ("oracle", "toposense", "rlm", "static")}
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    record_rows("ablation_baselines", list(rows.values()))
+
+    # The oracle knows the answer: almost no deviation after warmup.
+    assert rows["oracle"]["deviation"] < 0.15, rows["oracle"]
+    # TopoSense beats the static pin, by a lot.
+    assert rows["toposense"]["deviation"] < rows["static"]["deviation"], rows
+    # Coordination pays in stability: far fewer changes than blind probing.
+    assert rows["toposense"]["worst_changes"] * 2 <= rows["rlm"]["worst_changes"], rows
+    # The static controller drowns the narrowband class in loss; adaptive
+    # controllers keep it an order of magnitude lower.
+    assert rows["static"]["narrowband_loss"] > 0.3, rows["static"]
+    assert rows["toposense"]["narrowband_loss"] < rows["static"]["narrowband_loss"] / 2
+    assert rows["rlm"]["narrowband_loss"] < rows["static"]["narrowband_loss"] / 2

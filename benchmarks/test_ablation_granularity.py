@@ -1,0 +1,80 @@
+"""Ablation — layer granularity (paper §V).
+
+"A possible remedy ... is to have finer granularity in bandwidth
+requirements of layers.  Adding a layer may increase bandwidth demands by
+smaller amounts thereby limiting the magnitude of possible congestion.
+However ... a very large number of layers can delay convergence since
+layers are added one at a time."
+
+Coarse = the paper's 6 doubling layers; fine = 11 layers with ~sqrt(2)
+growth covering the same range.  Expected trade-off: finer layers cause
+smaller over-subscription overshoot (less loss) but take longer to climb.
+"""
+
+import math
+
+import pytest
+
+from conftest import bench_duration
+from repro.experiments.scenario import Scenario
+from repro.media.layers import PAPER_SCHEDULE, LayerSchedule
+
+
+def build(schedule, seed):
+    sc = Scenario(seed=seed)
+    sc.add_node("src")
+    sc.add_node("isp")
+    sc.add_node("home")
+    sc.add_link("src", "isp", bandwidth=10e6)
+    sc.add_link("isp", "home", bandwidth=500e3)
+    sess = sc.add_session("src", traffic="cbr", schedule=schedule)
+    sc.attach_controller("src")
+    sc.add_receiver(sess.session_id, "home", receiver_id="V")
+    return sc, sess
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_layer_granularity(benchmark, record_rows):
+    duration = bench_duration(300.0)
+    fine = LayerSchedule(n_layers=11, base_rate=32_000.0, growth=math.sqrt(2.0))
+
+    def run_pair():
+        rows = []
+        for label, schedule in (("coarse-6", PAPER_SCHEDULE), ("fine-11", fine)):
+            sc, sess = build(schedule, seed=16)
+            result = sc.run(duration)
+            h = sc.receivers[0]
+            warmup = min(60.0, duration / 4)
+            optimal = schedule.max_level_for(500e3)
+            # Time to first reach the optimal level.
+            t_reach = next(
+                (t for t, v in zip(h.trace.times, h.trace.values) if v >= optimal),
+                None,
+            )
+            peak_loss = max(h.receiver.loss_series.values) if len(
+                h.receiver.loss_series
+            ) else 0.0
+            rows.append(
+                {
+                    "schedule": label,
+                    "n_layers": schedule.n_layers,
+                    "optimal_level": optimal,
+                    "time_to_optimal_s": t_reach,
+                    "peak_loss": peak_loss,
+                    "mean_bw_kbps": h.trace and schedule.cumulative(
+                        round(h.trace.time_weighted_mean(warmup, duration))
+                    ) / 1e3,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    record_rows("ablation_granularity", rows)
+
+    coarse, fine_row = rows
+    assert coarse["time_to_optimal_s"] is not None
+    assert fine_row["time_to_optimal_s"] is not None
+    # Finer layers climb in more steps -> slower to the optimum.
+    assert fine_row["time_to_optimal_s"] >= coarse["time_to_optimal_s"], rows
+    # But each over-probe is smaller -> the worst loss episode is milder.
+    assert fine_row["peak_loss"] <= coarse["peak_loss"] + 0.05, rows

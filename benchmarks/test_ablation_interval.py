@@ -1,0 +1,55 @@
+"""Ablation — control interval size (paper §V "Interval size").
+
+"Burstiness in a short interval may lead to incorrect inferences about
+congestion.  However, a large interval implies slow reaction time."
+
+Sweep the interval on Topology A with VBR traffic.  Expected: a very short
+interval reacts to burst noise (more changes); a very long one converges
+slowly; the default sits between.
+"""
+
+import pytest
+
+from conftest import bench_duration
+from repro.core.config import TopoSenseConfig
+from repro.experiments.topologies import build_topology_a
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_interval_sweep(benchmark, record_rows):
+    duration = bench_duration(300.0)
+
+    def sweep():
+        rows = []
+        for interval in (1.0, 2.0, 4.0, 8.0):
+            cfg = TopoSenseConfig(interval=interval)
+            sc = build_topology_a(
+                n_receivers=4, traffic="vbr", peak_to_mean=3, seed=6, config=cfg
+            )
+            result = sc.run(duration)
+            changes, gap = result.stability()
+            # Time to first reach the broadband optimum of 4 layers.
+            t_reach = None
+            for t, v in zip(sc.receivers[0].trace.times, sc.receivers[0].trace.values):
+                if v >= 4:
+                    t_reach = t
+                    break
+            rows.append(
+                {
+                    "interval_s": interval,
+                    "max_changes": changes,
+                    "mean_gap_s": gap,
+                    "deviation": result.mean_deviation(min(60.0, duration / 4)),
+                    "time_to_4_layers_s": t_reach,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_rows("ablation_interval", rows)
+
+    by_interval = {r["interval_s"]: r for r in rows}
+    # Longer intervals converge more slowly (layers added once per interval).
+    assert by_interval[8.0]["time_to_4_layers_s"] > by_interval[2.0]["time_to_4_layers_s"]
+    # And produce fewer subscription changes.
+    assert by_interval[8.0]["max_changes"] <= by_interval[1.0]["max_changes"]

@@ -1,0 +1,50 @@
+"""Ablation — group-leave latency (paper §V).
+
+"Leaving a troublesome group may not immediately alleviate congestion
+because the last hop router must use IGMP to verify that there are no
+receivers for that group.  The latency in dropping a layer can cause
+congestion if the layer to be dropped has a very high data rate."
+
+Sweep the IGMP leave latency on Topology A: with a long latency each
+over-subscription episode keeps hurting long after the drop, so the loss
+integrated over the run grows.
+"""
+
+import pytest
+
+from conftest import bench_duration
+from repro.experiments.topologies import build_topology_a
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_leave_latency_sweep(benchmark, record_rows):
+    duration = bench_duration(300.0)
+
+    def sweep():
+        rows = []
+        for latency in (0.1, 1.0, 4.0):
+            sc = build_topology_a(
+                n_receivers=4, traffic="cbr", seed=8, leave_latency=latency
+            )
+            result = sc.run(duration)
+            warmup = min(60.0, duration / 4)
+            mean_loss = sum(
+                h.receiver.loss_series.mean(warmup, duration) for h in sc.receivers
+            ) / len(sc.receivers)
+            rows.append(
+                {
+                    "leave_latency_s": latency,
+                    "mean_loss": mean_loss,
+                    "deviation": result.mean_deviation(warmup),
+                    "total_drops": sc.network.total_drops(),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_rows("ablation_leave_latency", rows)
+
+    by_latency = {r["leave_latency_s"]: r for r in rows}
+    # Slower prunes leave more excess traffic in the network.
+    assert by_latency[4.0]["total_drops"] >= by_latency[0.1]["total_drops"], rows
+    assert by_latency[4.0]["mean_loss"] >= by_latency[0.1]["mean_loss"] - 0.01, rows

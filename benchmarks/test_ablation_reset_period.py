@@ -1,0 +1,54 @@
+"""Ablation — capacity-estimate reset period (paper §III).
+
+"Since transient non-conforming flows, as well as bottleneck capacities
+downstream can lead to wrong estimates of bandwidth, the capacity is reset
+to infinity at periodic intervals and recomputed."
+
+Each reset re-opens exploration: Fig. 9's over-subscription excursions
+happen at the reset cadence.  Sweep the period on Topology B: a short
+period probes (and disturbs the link) more often; a long period is calmer
+but adapts to genuine capacity changes more slowly.
+"""
+
+import pytest
+
+from conftest import bench_duration
+from repro.core.config import TopoSenseConfig
+from repro.experiments.topologies import build_topology_b
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_reset_period_sweep(benchmark, record_rows):
+    duration = bench_duration(300.0)
+
+    def sweep():
+        rows = []
+        for period in (5, 15, 45):
+            cfg = TopoSenseConfig(capacity_reset_period=period)
+            sc = build_topology_b(n_sessions=4, traffic="cbr", seed=10, config=cfg)
+            result = sc.run(duration)
+            warmup = min(60.0, duration / 4)
+            over_time = 0.0
+            for h in sc.receivers:
+                for t0, t1, v in h.trace.segments(warmup, duration):
+                    if v > 4:
+                        over_time += t1 - t0
+            rows.append(
+                {
+                    "reset_period_intervals": period,
+                    "deviation": result.mean_deviation(warmup),
+                    "over_subscribed_time_s": over_time,
+                    "worst_changes": result.stability()[0],
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_rows("ablation_reset_period", rows)
+
+    by_period = {r["reset_period_intervals"]: r for r in rows}
+    # Frequent resets -> at least as much over-subscribed exploration time.
+    assert (
+        by_period[5]["over_subscribed_time_s"]
+        >= by_period[45]["over_subscribed_time_s"] - 1.0
+    ), rows

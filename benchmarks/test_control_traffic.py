@@ -1,0 +1,48 @@
+"""Control-traffic scaling (paper §V).
+
+"TopoSense is designed in such a manner that the number of information
+packets exchanged in every interval is linear with respect to the number of
+receivers and sessions."
+
+Measure reports received + suggestions sent per control interval while
+sweeping the receiver count on Topology A, and check the per-receiver rate
+stays flat (linear total).
+"""
+
+import pytest
+
+from conftest import bench_duration
+from repro.experiments.topologies import build_topology_a
+
+
+@pytest.mark.benchmark(group="control-traffic")
+def test_control_traffic_linear_in_receivers(benchmark, record_rows):
+    duration = bench_duration(120.0)
+
+    def sweep():
+        rows = []
+        for n in (2, 4, 8, 16):
+            sc = build_topology_a(n_receivers=n, traffic="cbr", seed=18)
+            sc.run(duration)
+            ctrl = sc.controller
+            intervals = ctrl.updates_run
+            rows.append(
+                {
+                    "n_receivers": n,
+                    "reports_per_interval": ctrl.reports_received / intervals,
+                    "suggestions_per_interval": ctrl.suggestions_sent / intervals,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_rows("control_traffic", rows)
+
+    # Per-receiver control traffic is constant: totals scale linearly.
+    for row in rows:
+        per_rcv_reports = row["reports_per_interval"] / row["n_receivers"]
+        per_rcv_suggestions = row["suggestions_per_interval"] / row["n_receivers"]
+        assert 0.5 <= per_rcv_reports <= 1.5, row   # ~1 report/interval each
+        assert per_rcv_suggestions <= 1.2, row      # <= 1 suggestion each
+    ratio = rows[-1]["reports_per_interval"] / rows[0]["reports_per_interval"]
+    assert ratio == pytest.approx(rows[-1]["n_receivers"] / rows[0]["n_receivers"], rel=0.35)

@@ -1,0 +1,57 @@
+"""Figure 10 — impact of stale topology/loss information (Topology A, VBR).
+
+Paper claims:
+* "performance deteriorates with stale information";
+* "the session with only 2 receivers appears to be least affected";
+* TopoSense "does appear to perform well even with information as old as
+  8 seconds" (relative to the 600 ms source-receiver path latency).
+
+Shape checks (VBR noise makes per-point ordering unreliable, so claims are
+checked on aggregates):
+* heavily stale (>= 12 s) runs are no better than fresh runs on average;
+* no configuration collapses (deviation stays below 1.0 everywhere);
+* mild staleness (<= 4 s) stays within a modest band of the fresh baseline.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import bench_duration
+from repro.experiments.figures import fig10_staleness
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_staleness(benchmark, record_rows):
+    duration = bench_duration()
+
+    rows = benchmark.pedantic(
+        fig10_staleness,
+        kwargs=dict(
+            staleness_values=(0.0, 2.0, 4.0, 8.0, 12.0, 18.0),
+            receiver_counts=(2, 4, 8),
+            duration=duration,
+            seed=1,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_rows("fig10", rows)
+
+    assert len(rows) == 18
+    for row in rows:
+        assert row["deviation"] < 1.0, row
+
+    def dev(n, s):
+        return next(
+            r["deviation"] for r in rows
+            if r["n_receivers"] == n and r["staleness_s"] == s
+        )
+
+    for n in (2, 4, 8):
+        fresh = dev(n, 0.0)
+        mild = np.mean([dev(n, 2.0), dev(n, 4.0)])
+        stale = np.mean([dev(n, 12.0), dev(n, 18.0)])
+        # Mild staleness performs comparably to fresh information.
+        assert mild <= fresh + 0.20, (n, fresh, mild)
+        # Heavy staleness is no better than fresh (usually worse).
+        assert stale >= fresh - 0.10, (n, fresh, stale)

@@ -1,0 +1,48 @@
+"""Figure 6 — stability in Topology A.
+
+Paper claim: "the subscription level is fairly stable over time" — long
+stable spells interspersed with brief join/leave pairs, for CBR and VBR
+traffic, across receiver counts.
+
+Shape checks:
+* changes are sparse: the mean time between changes far exceeds the control
+  interval (2 s) for every configuration and traffic model;
+* stability does not collapse as receivers are added.
+
+(No CBR-vs-VBR ordering is asserted on the *count* of changes: probing
+cadence is set by the back-off/reset cycle, and bursty traffic keeps
+back-offs armed longer, so VBR can probe *less* often than CBR while
+deviating more — the quality ordering is Fig. 8's check.)
+"""
+
+import numpy as np
+import pytest
+
+from conftest import bench_duration
+from repro.experiments.figures import fig6_stability_topology_a
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_stability_topology_a(benchmark, record_rows):
+    duration = bench_duration()
+
+    rows = benchmark.pedantic(
+        fig6_stability_topology_a,
+        kwargs=dict(receiver_counts=(2, 4, 8), duration=duration, seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    record_rows("fig6", rows)
+
+    assert len(rows) == 9
+    for row in rows:
+        # Stability: changes are bounded and spaced out.
+        assert row["max_changes"] <= duration / 6, row
+        assert row["mean_gap_s"] >= 4.0, row
+
+    # Adding receivers must not blow stability up (per traffic model).
+    for label in {r["traffic"] for r in rows}:
+        per_n = sorted(
+            (r["n_receivers"], r["max_changes"]) for r in rows if r["traffic"] == label
+        )
+        assert per_n[-1][1] <= 3 * per_n[0][1] + 10, (label, per_n)

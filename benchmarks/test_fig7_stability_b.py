@@ -1,0 +1,33 @@
+"""Figure 7 — stability in Topology B (competing sessions).
+
+Same stability metrics as Fig. 6, but the worst *session* over a shared
+bottleneck: subscription changes stay sparse even as sessions are added.
+"""
+
+import pytest
+
+from conftest import bench_duration
+from repro.experiments.figures import fig7_stability_topology_b
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_stability_topology_b(benchmark, record_rows):
+    duration = bench_duration()
+
+    rows = benchmark.pedantic(
+        fig7_stability_topology_b,
+        kwargs=dict(session_counts=(2, 4, 8), duration=duration, seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    record_rows("fig7", rows)
+
+    assert len(rows) == 9
+    for row in rows:
+        assert row["max_changes"] <= duration / 5, row
+        assert row["mean_gap_s"] >= 3.0, row
+    # Stability must not collapse as sessions are added: the worst session
+    # with 8 competitors is within 3x the 2-session case per traffic model.
+    for label in ("CBR", "VBR(P=3)", "VBR(P=6)"):
+        per_n = {r["n_sessions"]: r["max_changes"] for r in rows if r["traffic"] == label}
+        assert per_n[8] <= max(3 * per_n[2], per_n[2] + 20), (label, per_n)

@@ -1,0 +1,48 @@
+"""Figure 8 — inter-session fairness in Topology B.
+
+Paper claim: "A small relative deviation in both these intervals indicates
+that TopoSense imposes fairness among competing sessions irrespective of the
+time intervals", for up to 16 competing sessions.
+
+Shape checks:
+* the mean relative deviation from the 4-layer optimum stays moderate in
+  both halves of the run for every session count and traffic model;
+* fairness does not decay over time (second half is not much worse than the
+  first);
+* CBR is at least as good as VBR(P=6) (burstiness costs something).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import bench_duration
+from repro.experiments.figures import fig8_fairness
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_fairness(benchmark, record_rows):
+    duration = bench_duration(300.0)
+
+    rows = benchmark.pedantic(
+        fig8_fairness,
+        kwargs=dict(session_counts=(2, 4, 8, 16), duration=duration, seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    record_rows("fig8", rows)
+
+    assert len(rows) == 12
+    for row in rows:
+        assert row["deviation_first_half"] < 0.75, row   # includes warmup
+        assert row["deviation_second_half"] < 0.60, row
+        # Fairness holds over time.
+        assert (
+            row["deviation_second_half"] <= row["deviation_first_half"] + 0.25
+        ), row
+
+    def mean_dev(label):
+        return np.mean(
+            [r["deviation_second_half"] for r in rows if r["traffic"] == label]
+        )
+
+    assert mean_dev("CBR") <= mean_dev("VBR(P=6)") + 0.05

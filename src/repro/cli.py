@@ -1,0 +1,166 @@
+"""Command-line front end: regenerate any of the paper's figures.
+
+Usage::
+
+    python -m repro fig6 [--duration 600] [--seed 1]
+    python -m repro fig7 | fig8 | fig9 | fig10 | table1
+    python -m repro demo --topology a --receivers 4 --traffic vbr --peak 3
+
+``REPRO_FULL=1`` switches every experiment to the paper's 1200 s horizon.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from .experiments import figures
+from .experiments.topologies import build_topology_a, build_topology_b
+
+__all__ = ["main"]
+
+
+def _print_rows(rows: List[Dict[str, Any]], as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(rows, indent=2, default=str))
+        return
+    if not rows:
+        print("(no rows)")
+        return
+    cols = list(rows[0].keys())
+    widths = {
+        c: max(len(c), *(len(_fmt(r.get(c))) for r in rows)) for c in cols
+    }
+    print("  ".join(c.ljust(widths[c]) for c in cols))
+    print("  ".join("-" * widths[c] for c in cols))
+    for r in rows:
+        print("  ".join(_fmt(r.get(c)).ljust(widths[c]) for c in cols))
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        return f"{v:.3f}"
+    return str(v)
+
+
+def _cmd_fig6(args) -> None:
+    _print_rows(
+        figures.fig6_stability_topology_a(duration=args.duration, seed=args.seed),
+        args.json,
+    )
+
+
+def _cmd_fig7(args) -> None:
+    _print_rows(
+        figures.fig7_stability_topology_b(duration=args.duration, seed=args.seed),
+        args.json,
+    )
+
+
+def _cmd_fig8(args) -> None:
+    _print_rows(figures.fig8_fairness(duration=args.duration, seed=args.seed), args.json)
+
+
+def _cmd_fig9(args) -> None:
+    data = figures.fig9_timeseries(duration=args.duration, seed=args.seed)
+    if args.json:
+        print(json.dumps(data, indent=2, default=str))
+        return
+    print(f"Figure 9: {data['n_sessions']} competing VBR sessions, {data['duration']:.0f}s")
+    if getattr(args, "plot", False):
+        from .metrics.ascii_plot import render_level_timeline
+        from .simnet.tracing import SeriesTrace, StepTrace
+
+        t1 = data["duration"]
+        print(f"subscription level per session, 0..{t1:.0f}s "
+              f"(one digit per {t1 / 72:.1f}s bucket):")
+        for rid, s in data["sessions"].items():
+            trace = StepTrace(0.0, 0)
+            for t, v in s["subscription"]:
+                trace.record(t, v)
+            print(" ", render_level_timeline(trace, 0.0, t1, width=72, label=f"{rid:>5} "))
+        return
+    for rid, s in data["sessions"].items():
+        print(
+            f"  {rid}: mean level {s['mean_level']:.2f}, max {s['max_level']}, "
+            f"over-subscribed: {s['over_subscribed']}"
+        )
+        tail = s["subscription"][-8:]
+        print("    recent subscription changes:", [(round(t, 1), int(v)) for t, v in tail])
+
+
+def _cmd_fig10(args) -> None:
+    _print_rows(figures.fig10_staleness(duration=args.duration, seed=args.seed), args.json)
+
+
+def _cmd_table1(args) -> None:
+    _print_rows(figures.table1_rows(), args.json)
+
+
+def _cmd_demo(args) -> None:
+    if args.topology == "a":
+        sc = build_topology_a(
+            n_receivers=args.receivers, traffic=args.traffic,
+            peak_to_mean=args.peak, seed=args.seed, staleness=args.staleness,
+        )
+    else:
+        sc = build_topology_b(
+            n_sessions=args.receivers, traffic=args.traffic,
+            peak_to_mean=args.peak, seed=args.seed, staleness=args.staleness,
+        )
+    duration = args.duration or figures.default_duration()
+    print(sc.network.describe())
+    print(f"running {duration:.0f}s of simulated time ...")
+    res = sc.run(duration)
+    print(res.summary())
+    print(f"mean relative deviation: {res.mean_deviation(min(60.0, duration / 4)):.3f}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro`` / the ``repro`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TopoSense (ICPP 2001) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--duration", type=float, default=None,
+                       help="simulated seconds (default: REPRO_* env or 300)")
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--json", action="store_true", help="emit JSON rows")
+
+    for name, fn, help_ in [
+        ("fig6", _cmd_fig6, "stability in Topology A"),
+        ("fig7", _cmd_fig7, "stability in Topology B"),
+        ("fig8", _cmd_fig8, "inter-session fairness in Topology B"),
+        ("fig9", _cmd_fig9, "subscription/loss time series, 4 VBR sessions"),
+        ("fig10", _cmd_fig10, "impact of stale topology information"),
+        ("table1", _cmd_table1, "the demand decision table"),
+    ]:
+        p = sub.add_parser(name, help=help_)
+        common(p)
+        if name == "fig9":
+            p.add_argument("--plot", action="store_true",
+                           help="draw an ASCII timeline instead of a summary")
+        p.set_defaults(fn=fn)
+
+    demo = sub.add_parser("demo", help="run one scenario and print a summary")
+    common(demo)
+    demo.add_argument("--topology", choices=["a", "b"], default="a")
+    demo.add_argument("--receivers", type=int, default=4,
+                      help="receivers (topology a) or sessions (topology b)")
+    demo.add_argument("--traffic", choices=["cbr", "vbr"], default="cbr")
+    demo.add_argument("--peak", type=float, default=3.0, help="VBR peak-to-mean ratio")
+    demo.add_argument("--staleness", type=float, default=0.0)
+    demo.set_defaults(fn=_cmd_demo)
+
+    args = parser.parse_args(argv)
+    args.fn(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Controller-agent architecture: session descriptors, wire messages,
+topology discovery (with staleness), and the controller/receiver agents.
+"""
+
+from .accounting import BillingLedger, UsageRecord
+from .agent import ControllerAgent, ReceiverAgent
+from .discovery import TopologyDiscovery
+from .messages import (
+    CONTROL_PORT,
+    Register,
+    RegisterAck,
+    Report,
+    Suggestion,
+)
+from .session import SessionDescriptor
+
+__all__ = [
+    "BillingLedger",
+    "UsageRecord",
+    "ControllerAgent",
+    "ReceiverAgent",
+    "TopologyDiscovery",
+    "SessionDescriptor",
+    "Register",
+    "RegisterAck",
+    "Report",
+    "Suggestion",
+    "CONTROL_PORT",
+]

@@ -1,0 +1,103 @@
+"""Usage accounting / billing (paper §II).
+
+"Controller agents can also be very useful for billing customers based on
+multicast content delivered."  The controller already receives everything a
+biller needs — per-interval bytes delivered and the subscription level — so
+:class:`BillingLedger` simply folds the report stream into per-receiver
+usage records and prices them.
+
+The ledger is deliberately decoupled from the control algorithm: attach it
+to a :class:`~repro.control.agent.ControllerAgent` via
+:meth:`ControllerAgent.attach_ledger` (or call :meth:`record` yourself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from .messages import Report
+
+__all__ = ["UsageRecord", "BillingLedger"]
+
+
+@dataclass
+class UsageRecord:
+    """Accumulated usage for one (session, receiver) pair."""
+
+    session_id: Any
+    receiver_id: Any
+    bytes_delivered: float = 0.0
+    #: Integral of subscription level over time (layer-seconds): the
+    #: quality actually subscribed, independent of loss.
+    layer_seconds: float = 0.0
+    intervals: int = 0
+    first_t: float = field(default=float("inf"))
+    last_t: float = 0.0
+
+    @property
+    def megabytes(self) -> float:
+        """Delivered volume in MB."""
+        return self.bytes_delivered / 1e6
+
+    @property
+    def mean_level(self) -> float:
+        """Time-weighted mean subscription level over the billed span."""
+        span = self.last_t - self.first_t
+        return self.layer_seconds / span if span > 0 else 0.0
+
+
+class BillingLedger:
+    """Prices receiver reports into per-customer charges.
+
+    Parameters
+    ----------
+    price_per_mb:
+        Charge per megabyte actually delivered.
+    price_per_layer_hour:
+        Charge per (layer x hour) subscribed — the "quality tier" component.
+    """
+
+    def __init__(self, price_per_mb: float = 0.01, price_per_layer_hour: float = 0.05):
+        if price_per_mb < 0 or price_per_layer_hour < 0:
+            raise ValueError("prices must be non-negative")
+        self.price_per_mb = price_per_mb
+        self.price_per_layer_hour = price_per_layer_hour
+        self.records: Dict[tuple, UsageRecord] = {}
+
+    # ------------------------------------------------------------------
+    def record(self, report: Report) -> None:
+        """Fold one receiver report into the ledger."""
+        key = (report.session_id, report.receiver_id)
+        rec = self.records.get(key)
+        if rec is None:
+            rec = self.records[key] = UsageRecord(report.session_id, report.receiver_id)
+        span = max(report.t1 - report.t0, 0.0)
+        rec.bytes_delivered += max(report.bytes, 0.0)
+        rec.layer_seconds += report.level * span
+        rec.intervals += 1
+        rec.first_t = min(rec.first_t, report.t0)
+        rec.last_t = max(rec.last_t, report.t1)
+
+    # ------------------------------------------------------------------
+    def usage(self, session_id: Any, receiver_id: Any) -> UsageRecord:
+        """The usage record for one receiver (KeyError if never reported)."""
+        return self.records[(session_id, receiver_id)]
+
+    def charge(self, session_id: Any, receiver_id: Any) -> float:
+        """Total charge for one receiver under the configured prices."""
+        rec = self.usage(session_id, receiver_id)
+        return (
+            rec.megabytes * self.price_per_mb
+            + rec.layer_seconds / 3600.0 * self.price_per_layer_hour
+        )
+
+    def invoice(self) -> Dict[tuple, float]:
+        """Charges for every known (session, receiver) pair."""
+        return {
+            key: self.charge(*key) for key in self.records
+        }
+
+    def total_revenue(self) -> float:
+        """Sum of all charges."""
+        return sum(self.invoice().values())

@@ -1,0 +1,320 @@
+"""Controller and receiver agents (the paper's §II architecture).
+
+The **controller agent** is an application on one node of the domain (the
+paper stations it at a source so its traffic shares the congested links).  It
+
+* accepts registrations and periodic loss reports from receivers,
+* queries the topology-discovery tool every control interval,
+* runs a pluggable congestion-control algorithm (TopoSense by default, but
+  any object with the same ``update(now, session_inputs)`` signature — the
+  baselines reuse this agent),
+* unicasts subscription suggestions back to the receivers.
+
+The **receiver agent** wraps a :class:`~repro.media.receiver.LayeredReceiver`:
+it registers with the controller (retrying until acknowledged), reports every
+interval, and obeys arriving suggestions.  If suggestions stop arriving for
+``unilateral_after`` seconds (lost control traffic), it makes the paper's
+"unilateral decision": drop a layer whenever its own loss rate stays above
+threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..core.types import ReceiverReport, SessionInput, SuggestionSet
+from ..media.receiver import LayeredReceiver
+from ..simnet.node import Node
+from ..simnet.packet import CONTROL, Packet
+from .discovery import TopologyDiscovery
+from .messages import (
+    CONTROL_PORT,
+    REGISTER_SIZE,
+    REPORT_SIZE,
+    SUGGESTION_SIZE,
+    Register,
+    RegisterAck,
+    Report,
+    Suggestion,
+)
+from .session import SessionDescriptor
+
+__all__ = ["ControllerAgent", "ReceiverAgent"]
+
+
+class ReceiverAgent:
+    """Receiver-side control logic for one (receiver, session) pair."""
+
+    def __init__(
+        self,
+        receiver: LayeredReceiver,
+        controller_node: Any,
+        interval: float = 2.0,
+        rng: Optional[np.random.Generator] = None,
+        unilateral_after: float = 6.0,
+        loss_threshold: float = 0.05,
+        register_retries: int = 5,
+    ):
+        self.receiver = receiver
+        self.node: Node = receiver.node
+        self.sched = receiver.sched
+        self.controller_node = controller_node
+        self.interval = interval
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.unilateral_after = unilateral_after
+        self.loss_threshold = loss_threshold
+        self.register_retries = register_retries
+        self.port = f"rcv:{receiver.session_id}:{receiver.receiver_id}"
+        self.registered = False
+        self.last_suggestion_at: Optional[float] = None
+        self.suggestions_received = 0
+        self.reports_sent = 0
+        self.unilateral_drops = 0
+        self.active = True
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Bind the control port, register, and begin periodic reporting."""
+        if self._started:
+            return
+        self._started = True
+        self.node.bind_port(self.port, self._on_packet)
+        self._register(attempt=0)
+        # Jittered phase so receivers do not report in lock-step.
+        phase = float(self.rng.uniform(0.05, 0.25)) * self.interval
+        self.sched.every(self.interval, self._report, start=self.sched.now + self.interval + phase)
+
+    def _register(self, attempt: int) -> None:
+        if self.registered or attempt >= self.register_retries:
+            return
+        msg = Register(
+            receiver_id=self.receiver.receiver_id,
+            session_id=self.receiver.session_id,
+            node=self.node.name,
+            port=self.port,
+        )
+        self._send(msg, REGISTER_SIZE)
+        self.sched.after(1.0 + attempt, self._register, attempt + 1)
+
+    def _send(self, msg: Any, size: int) -> None:
+        self.node.send(
+            Packet(
+                src=self.node.name,
+                dst=self.controller_node,
+                size=size,
+                kind=CONTROL,
+                port=CONTROL_PORT,
+                payload=msg,
+                created_at=self.sched.now,
+            )
+        )
+
+    def stop(self) -> None:
+        """Cease reporting and unsubscribe (the receiver departs).
+
+        The controller simply stops hearing from this receiver; its stale
+        registration ages out of relevance as the discovery tool no longer
+        finds the node in any layer tree.
+        """
+        if not self.active:
+            return
+        self.active = False
+        self.receiver.set_level(0)
+        self.node.unbind_port(self.port)
+
+    # ------------------------------------------------------------------
+    def _report(self) -> None:
+        if not self.active:
+            raise StopIteration  # ends the periodic reporting loop
+        stats = self.receiver.interval_stats()
+        msg = Report(
+            receiver_id=self.receiver.receiver_id,
+            session_id=self.receiver.session_id,
+            loss_rate=stats.loss_rate,
+            bytes=stats.bytes,
+            level=self.receiver.level,
+            t0=stats.t0,
+            t1=stats.t1,
+        )
+        self._send(msg, REPORT_SIZE)
+        self.reports_sent += 1
+        self._maybe_unilateral(stats.loss_rate)
+
+    def _maybe_unilateral(self, loss_rate: float) -> None:
+        """Paper: receivers act alone when suggestions stop arriving."""
+        reference = self.last_suggestion_at
+        if reference is None:
+            return  # never heard from the controller; stay put
+        if self.sched.now - reference < self.unilateral_after:
+            return
+        if loss_rate > self.loss_threshold and self.receiver.level > 1:
+            self.receiver.drop_layer()
+            self.unilateral_drops += 1
+
+    def _on_packet(self, pkt: Packet) -> None:
+        msg = pkt.payload
+        if isinstance(msg, RegisterAck):
+            self.registered = True
+        elif isinstance(msg, Suggestion):
+            self.last_suggestion_at = self.sched.now
+            self.suggestions_received += 1
+            if 0 <= msg.level <= self.receiver.schedule.n_layers:
+                # Layers are added one at a time (paper §V: a large layer
+                # count "can delay convergence since layers are added one at
+                # a time"); downward moves apply immediately.
+                current = self.receiver.level
+                if msg.level > current:
+                    self.receiver.set_level(current + 1)
+                else:
+                    self.receiver.set_level(msg.level)
+
+
+class ControllerAgent:
+    """The per-domain controller agent running the control loop."""
+
+    def __init__(
+        self,
+        node: Node,
+        sessions: List[SessionDescriptor],
+        discovery: TopologyDiscovery,
+        algorithm: Any,
+        interval: float = 2.0,
+        info_staleness: float = 0.0,
+    ):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if info_staleness < 0:
+            raise ValueError("info_staleness must be >= 0")
+        self.node = node
+        self.sched = node.sched
+        self.sessions = {s.session_id: s for s in sessions}
+        self.discovery = discovery
+        self.algorithm = algorithm
+        self.interval = interval
+        #: Age of the loss/subscription information the algorithm acts on.
+        #: The paper's Fig. 10 stales "topology and loss information"
+        #: together; the topology half lives in the discovery tool.
+        self.info_staleness = info_staleness
+        # (session_id, receiver_id) -> registration info
+        self.registrations: Dict[tuple, Register] = {}
+        # (session_id, receiver_id) -> latest Report (ignoring staleness)
+        self.latest_reports: Dict[tuple, Report] = {}
+        # (session_id, receiver_id) -> [(arrival_time, Report), ...]
+        self._report_history: Dict[tuple, List[tuple]] = {}
+        self.reports_received = 0
+        self.suggestions_sent = 0
+        self.updates_run = 0
+        self.last_suggestions: Optional[SuggestionSet] = None
+        #: Optional usage/billing ledger fed with every incoming report.
+        self.ledger = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Bind the control port and begin the periodic algorithm loop.
+
+        The first tick happens 1.75 intervals in, so that at least one round
+        of receiver reports (sent just past each interval boundary, plus
+        propagation) has arrived.
+        """
+        if self._started:
+            return
+        self._started = True
+        self.node.bind_port(CONTROL_PORT, self._on_packet)
+        self.sched.every(
+            self.interval, self._tick, start=self.sched.now + 1.75 * self.interval
+        )
+
+    def add_session(self, descriptor: SessionDescriptor) -> None:
+        """Register an additional session to manage."""
+        self.sessions[descriptor.session_id] = descriptor
+
+    def attach_ledger(self, ledger) -> None:
+        """Feed every incoming report into ``ledger`` (billing, paper §II)."""
+        self.ledger = ledger
+
+    # ------------------------------------------------------------------
+    def _on_packet(self, pkt: Packet) -> None:
+        msg = pkt.payload
+        if isinstance(msg, Register):
+            self.registrations[(msg.session_id, msg.receiver_id)] = msg
+            ack = RegisterAck(receiver_id=msg.receiver_id, session_id=msg.session_id)
+            self._send_to(msg.node, msg.port, ack, REGISTER_SIZE)
+        elif isinstance(msg, Report):
+            key = (msg.session_id, msg.receiver_id)
+            self.latest_reports[key] = msg
+            self.reports_received += 1
+            if self.ledger is not None:
+                self.ledger.record(msg)
+            history = self._report_history.setdefault(key, [])
+            history.append((self.sched.now, msg))
+            # Bound memory: keep enough to cover any plausible staleness.
+            if len(history) > 64:
+                del history[: len(history) - 64]
+
+    def _send_to(self, node_name: Any, port: str, msg: Any, size: int) -> None:
+        self.node.send(
+            Packet(
+                src=self.node.name,
+                dst=node_name,
+                size=size,
+                kind=CONTROL,
+                port=port,
+                payload=msg,
+                created_at=self.sched.now,
+            )
+        )
+
+    def _report_as_of(self, key: tuple, cutoff: float) -> Optional[Report]:
+        """Newest report for ``key`` that had arrived by ``cutoff``."""
+        history = self._report_history.get(key)
+        if not history:
+            return None
+        for arrived, rep in reversed(history):
+            if arrived <= cutoff:
+                return rep
+        return None
+
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        now = self.sched.now
+        cutoff = now - self.info_staleness
+        inputs: List[SessionInput] = []
+        for sid, descriptor in self.sessions.items():
+            receivers = {
+                rid: reg.node
+                for (s, rid), reg in self.registrations.items()
+                if s == sid
+            }
+            tree = self.discovery.session_tree(descriptor, receivers, now=now)
+            reports = {}
+            for (s, rid) in self.latest_reports:
+                if s != sid:
+                    continue
+                rep = (
+                    self.latest_reports[(s, rid)]
+                    if self.info_staleness == 0.0
+                    else self._report_as_of((s, rid), cutoff)
+                )
+                if rep is None:
+                    continue
+                reports[rid] = ReceiverReport(
+                    receiver_id=rid,
+                    loss_rate=rep.loss_rate,
+                    bytes=rep.bytes,
+                    level=rep.level,
+                )
+            inputs.append(SessionInput(tree=tree, schedule=descriptor.schedule, reports=reports))
+        suggestions = self.algorithm.update(now, inputs)
+        self.last_suggestions = suggestions
+        self.updates_run += 1
+        for (sid, rid), level in suggestions.items():
+            reg = self.registrations.get((sid, rid))
+            if reg is None:
+                continue
+            msg = Suggestion(receiver_id=rid, session_id=sid, level=level, issued_at=now)
+            self._send_to(reg.node, reg.port, msg, SUGGESTION_SIZE)
+            self.suggestions_sent += 1

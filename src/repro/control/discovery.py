@@ -1,0 +1,140 @@
+"""Topology-discovery tool (mtrace/SNMP stand-in).
+
+The paper's architecture assumes "the existence of a tool which discovers the
+multicast tree topology in the local domain" and deliberately abstracts *how*
+(mtrace, SNMP, mrtree...).  The only property its evaluation varies is the
+**staleness** of the information (Fig. 10: 2–18 seconds old).
+
+:class:`TopologyDiscovery` models exactly that contract: it answers "what was
+session S's tree" from the :class:`~repro.multicast.manager.MulticastManager`
+snapshot history, ``staleness`` seconds in the past.  Staleness zero is the
+instantaneous-information premise the paper calls "clearly unrealistic" but
+uses as the baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from ..core.session_topology import SessionTree
+from ..multicast.manager import MulticastManager
+from .session import SessionDescriptor
+
+__all__ = ["TopologyDiscovery"]
+
+
+class TopologyDiscovery:
+    """Serves (possibly stale) session-tree snapshots to the controller.
+
+    Parameters
+    ----------
+    mcast:
+        The multicast manager holding ground-truth tree history.
+    staleness:
+        Age, in seconds, of the topology information returned.  The paper
+        sweeps 2..18 s in Fig. 10.
+    domain:
+        Optional set of node names this controller's domain covers (paper
+        §II: "the controller agent is concerned only with the topology in
+        its domain").  When given, discovered trees are clipped to edges
+        inside the domain and re-rooted at the node where the session
+        enters it; receivers outside the domain are invisible.
+    """
+
+    def __init__(
+        self,
+        mcast: MulticastManager,
+        staleness: float = 0.0,
+        domain: Optional[set] = None,
+    ):
+        if staleness < 0:
+            raise ValueError(f"staleness must be >= 0, got {staleness}")
+        self.mcast = mcast
+        self.staleness = staleness
+        self.domain = frozenset(domain) if domain is not None else None
+        self.queries = 0
+
+    def session_tree(
+        self,
+        descriptor: SessionDescriptor,
+        receivers: Mapping[Any, Any],
+        now: Optional[float] = None,
+    ) -> SessionTree:
+        """Discover the session tree as of ``now - staleness``.
+
+        ``receivers`` maps receiver id -> node name (from registrations).
+        Receivers whose node is not in the discovered tree (e.g. their join
+        postdates the snapshot) are omitted — the controller simply does not
+        see them yet, exactly as with a real stale discovery tool.
+        """
+        if now is None:
+            now = self.mcast.sched.now
+        self.queries += 1
+        at = max(now - self.staleness, 0.0)
+        layer_edges = []
+        tree_nodes = {descriptor.source}
+        for group in descriptor.groups:
+            snap = self.mcast.snapshot_at(group, at)
+            edges = snap.edges
+            if self.domain is not None:
+                edges = frozenset(
+                    (u, v) for u, v in edges
+                    if u in self.domain and v in self.domain
+                )
+            layer_edges.append(edges)
+            for u, v in edges:
+                tree_nodes.add(u)
+                tree_nodes.add(v)
+        root = descriptor.source
+        if self.domain is not None and root not in self.domain:
+            root = self._entry_node(layer_edges)
+            if root is None:
+                # The session does not reach this domain (yet).
+                return SessionTree(descriptor.session_id, descriptor.source, [], {})
+            # Keep only the component hanging below the chosen entry (a
+            # domain covering several disjoint subtrees yields several
+            # candidate entries; this controller manages one of them).
+            layer_edges = [self._reachable_from(root, edges) for edges in layer_edges]
+            tree_nodes = {root}
+            for edges in layer_edges:
+                for u, v in edges:
+                    tree_nodes.add(u)
+                    tree_nodes.add(v)
+        visible = {
+            node: rid for rid, node in receivers.items() if node in tree_nodes
+        }
+        if self.domain is not None:
+            visible = {n: r for n, r in visible.items() if n in self.domain}
+        return SessionTree.from_layer_snapshots(
+            descriptor.session_id, root, layer_edges, visible
+        )
+
+    @staticmethod
+    def _entry_node(layer_edges) -> Optional[Any]:
+        """The node where the session enters the domain: an in-domain edge
+        head that no in-domain edge points to (ties broken by name)."""
+        heads = set()
+        tails = set()
+        for edges in layer_edges:
+            for u, v in edges:
+                heads.add(u)
+                tails.add(v)
+        candidates = heads - tails
+        if not candidates:
+            return None
+        return min(candidates, key=str)
+
+    @staticmethod
+    def _reachable_from(root, edges) -> frozenset:
+        """Edges of the subtree reachable from ``root``."""
+        children = {}
+        for u, v in edges:
+            children.setdefault(u, []).append(v)
+        keep = set()
+        stack = [root]
+        while stack:
+            u = stack.pop()
+            for v in children.get(u, ()):
+                keep.add((u, v))
+                stack.append(v)
+        return frozenset(keep)

@@ -1,0 +1,78 @@
+"""Control-plane wire messages.
+
+These objects travel as payloads of CONTROL packets through the simulated
+network — the paper stations the controller at a source node precisely so
+that "control messages could be lost due to congestion", and ours are subject
+to the same drop-tail queues as the media traffic.
+
+Sizes are nominal on-the-wire sizes in bytes (headers included) used for the
+packets carrying each message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = [
+    "Register",
+    "RegisterAck",
+    "Report",
+    "Suggestion",
+    "CONTROL_PORT",
+    "REGISTER_SIZE",
+    "REPORT_SIZE",
+    "SUGGESTION_SIZE",
+]
+
+#: Well-known port the controller agent listens on.
+CONTROL_PORT = "toposense-ctrl"
+
+REGISTER_SIZE = 64
+REPORT_SIZE = 96
+SUGGESTION_SIZE = 64
+
+
+@dataclass(frozen=True)
+class Register:
+    """Receiver -> controller: 'I am receiving session X at node N'."""
+
+    receiver_id: Any
+    session_id: Any
+    node: Any
+    port: str  # where suggestions should be sent back
+
+
+@dataclass(frozen=True)
+class RegisterAck:
+    """Controller -> receiver: registration confirmed."""
+
+    receiver_id: Any
+    session_id: Any
+
+
+@dataclass(frozen=True)
+class Report:
+    """Receiver -> controller: one interval's loss/bytes/subscription.
+
+    This is the RTCP-receiver-report stand-in: the controller's algorithm
+    inputs are exactly ``loss_rate``, ``bytes`` and ``level``.
+    """
+
+    receiver_id: Any
+    session_id: Any
+    loss_rate: float
+    bytes: float
+    level: int
+    t0: float
+    t1: float
+
+
+@dataclass(frozen=True)
+class Suggestion:
+    """Controller -> receiver: subscribe to this many layers."""
+
+    receiver_id: Any
+    session_id: Any
+    level: int
+    issued_at: float

@@ -1,0 +1,55 @@
+"""Stage 3 — finding bottleneck bandwidths (paper §III).
+
+Given the estimated link capacities, two linear passes answer "how much can
+each part of the tree take?":
+
+* **top-down**: each node's *bottleneck* is the minimum estimated capacity
+  along its path from the source (the classic widest-path computation on a
+  tree, done breadth-first);
+* **bottom-up**: each node's *handleable* bandwidth is the maximum bottleneck
+  of any receiver in its subtree — the most any single downstream receiver
+  could usefully consume, and therefore the most the node should ever carry.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, Mapping, Tuple
+
+from .session_topology import SessionTree
+
+__all__ = ["compute_bottlenecks", "compute_handleable"]
+
+Edge = Tuple[Any, Any]
+
+
+def compute_bottlenecks(
+    tree: SessionTree, capacity_of: Callable[[Edge], float]
+) -> Dict[Any, float]:
+    """Min link capacity from the source to every node (top-down BFS)."""
+    bottleneck: Dict[Any, float] = {tree.root: math.inf}
+    for node in tree.topdown():
+        if node == tree.root:
+            continue
+        parent = tree.parent[node]
+        bottleneck[node] = min(bottleneck[parent], capacity_of((parent, node)))
+    return bottleneck
+
+
+def compute_handleable(
+    tree: SessionTree, bottlenecks: Mapping[Any, float]
+) -> Dict[Any, float]:
+    """Max bottleneck over each node's subtree (bottom-up BFS).
+
+    For a leaf this is its own bottleneck; for an internal node it is the
+    highest bandwidth any descendant receiver could take, which bounds the
+    subscription the subtree should ever demand.
+    """
+    handleable: Dict[Any, float] = {}
+    for node in tree.bottomup():
+        kids = tree.children.get(node)
+        if not kids:
+            handleable[node] = bottlenecks[node]
+        else:
+            handleable[node] = max(handleable[c] for c in kids)
+    return handleable

@@ -1,0 +1,140 @@
+"""TopoSense configuration.
+
+Every knob the paper mentions (thresholds, back-off interval, capacity
+re-estimation period, control interval) is collected here so experiments and
+ablation benchmarks can sweep them.  Defaults follow the paper where it gives
+numbers and use documented, reasonable choices where it does not (see
+DESIGN.md §7 "Paper ambiguities").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TopoSenseConfig"]
+
+
+@dataclass
+class TopoSenseConfig:
+    """Tunable parameters of the TopoSense algorithm."""
+
+    #: Control interval in seconds: how often the controller runs the
+    #: algorithm and sends suggestions (paper §V discusses the trade-off).
+    interval: float = 2.0
+
+    # -- Stage 1: congestion states ------------------------------------
+    #: A leaf is congested when its session loss rate exceeds this
+    #: (paper: "higher than a threshold").
+    p_threshold: float = 0.05
+    #: Fraction of children that must have loss rates close to the mean for
+    #: an internal node to be declared congested (paper's eta_similar).
+    eta_similar: float = 0.6
+    #: "Close to the mean": |loss - mean| <= similar_tolerance * mean.
+    similar_tolerance: float = 0.5
+
+    #: EWMA weight of the newest loss sample (0 disables smoothing).  Paper
+    #: §V extension: "A better mechanism is needed to differentiate between
+    #: bursty losses and sustained congestion" — smoothing filters the
+    #: single-interval burst losses of VBR traffic while sustained
+    #: congestion still accumulates to the thresholds.
+    loss_ewma: float = 0.0
+
+    # -- Decision-table loss qualifiers ---------------------------------
+    #: "If loss rate is high, drop layer" (leaf, history=1, Lesser).
+    high_loss: float = 0.15
+    #: "If loss is very high ..." (leaf, history=3/7, Greater).
+    very_high_loss: float = 0.30
+
+    # -- Stage 2: link-capacity estimation -------------------------------
+    #: Overall (byte-weighted) loss at a link's head node must exceed this
+    #: before the link capacity is estimated.
+    link_loss_threshold: float = 0.05
+    #: Every session crossing the link must exceed this loss rate too.  The
+    #: condition exists to distinguish shared-link congestion from a
+    #: bottleneck below the branch point (where other sessions see *zero*
+    #: loss), so the threshold is deliberately much lower than p_threshold —
+    #: with an equal threshold, one laggy report misses the estimation
+    #: window and fair sharing never engages on the shared link.
+    session_loss_threshold: float = 0.01
+    #: Fraction of the sessions sharing a link that must be lossy for the
+    #: link to be considered congested.  The paper says "all the sessions";
+    #: with many sessions and staggered reports the strict conjunction
+    #: almost never holds simultaneously, so estimation would never fire.
+    #: Set to 1.0 to match the paper's text exactly.
+    link_lossy_fraction: float = 0.75
+    #: Multiplicative inflation applied to a finite estimate each interval
+    #: (paper: "the estimate is increased every interval by a small amount").
+    #: Initial estimates are usually a few percent low (partial-interval
+    #: measurement), so this also controls how fast they self-correct.
+    #: Compounding is deliberate but must stay slow: at 2% per interval an
+    #: estimate grows ~35% before the periodic reset re-learns it.
+    capacity_inflation: float = 0.02
+    #: Estimates are discarded (reset to infinity) after this many intervals
+    #: (paper: "the capacity is reset to infinity at periodic intervals").
+    #: Each reset re-opens exploration, producing the over-subscription
+    #: excursions of the paper's Fig. 9; shorter periods mean more probing.
+    capacity_reset_period: int = 15
+
+    # -- Stage 5: demand computation -------------------------------------
+    #: Number of consecutive reports a leaf must spend at its current level
+    #: before the next layer is probed.  Loss evidence lags a join by graft
+    #: latency + queue-fill + queueing delay (~2 control intervals), so
+    #: probing every interval runs two layers past capacity before the first
+    #: loss report lands (the paper's Fig. 9 over-subscription).
+    add_confirmation: int = 2
+    #: Probability that a confirmed, unblocked leaf actually probes the next
+    #: layer in a given interval.  After a capacity reset every session is
+    #: simultaneously eligible to probe; without staggering they all add a
+    #: layer in the same interval and the collective overload crashes the
+    #: shared link far harder than any single probe would.
+    add_probability: float = 0.5
+    #: Seconds after a reduction during which further reductions at the same
+    #: node are suppressed.  A drop only takes effect after the IGMP leave
+    #: latency plus queue drain, so loss reported inside this window is stale
+    #: evidence of the congestion already being fixed, not new congestion
+    #: (the group-leave-latency problem of paper §V).
+    reduce_deaf: float = 6.0
+    #: Relative tolerance for the "BW Equality" comparison in Table I.
+    bw_equal_tolerance: float = 0.05
+    #: Back-off timer range in seconds; drawn uniformly (paper: "the random
+    #: back-off interval chosen").  The paper notes stability "can be
+    #: controlled using the back-off interval"; the ablation bench sweeps it.
+    backoff_min: float = 15.0
+    backoff_max: float = 45.0
+
+    # -- Stage 6: supply allocation ---------------------------------------
+    #: Minimum subscription level: the paper assumes every session always
+    #: receives at least the base layer.
+    min_level: int = 1
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError("interval must be positive")
+        if not 0 < self.p_threshold < 1:
+            raise ValueError("p_threshold must be in (0, 1)")
+        if not 0 < self.eta_similar <= 1:
+            raise ValueError("eta_similar must be in (0, 1]")
+        if self.similar_tolerance < 0:
+            raise ValueError("similar_tolerance must be >= 0")
+        if not self.p_threshold <= self.high_loss <= self.very_high_loss:
+            raise ValueError("need p_threshold <= high_loss <= very_high_loss")
+        if self.capacity_inflation < 0:
+            raise ValueError("capacity_inflation must be >= 0")
+        if self.capacity_reset_period < 1:
+            raise ValueError("capacity_reset_period must be >= 1")
+        if not 0 <= self.bw_equal_tolerance < 1:
+            raise ValueError("bw_equal_tolerance must be in [0, 1)")
+        if not 0 < self.backoff_min <= self.backoff_max:
+            raise ValueError("need 0 < backoff_min <= backoff_max")
+        if self.min_level < 0:
+            raise ValueError("min_level must be >= 0")
+        if self.add_confirmation < 1:
+            raise ValueError("add_confirmation must be >= 1")
+        if self.reduce_deaf < 0:
+            raise ValueError("reduce_deaf must be >= 0")
+        if not 0 < self.link_lossy_fraction <= 1:
+            raise ValueError("link_lossy_fraction must be in (0, 1]")
+        if not 0 < self.add_probability <= 1:
+            raise ValueError("add_probability must be in (0, 1]")
+        if not 0 <= self.loss_ewma <= 1:
+            raise ValueError("loss_ewma must be in [0, 1]")

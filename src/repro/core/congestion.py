@@ -1,0 +1,110 @@
+"""Stage 1 — computing congestion states (paper §III).
+
+Packet loss is only observable at leaves.  The loss rate of an internal node
+(for a session) is defined as the **minimum** of its children's loss rates:
+if every receiver below a node is losing packets, the shared path above them
+is the likely culprit; if even one child is loss-free, the node itself is
+fine and the losses are further downstream.
+
+A node is labeled CONGESTED when
+
+* it is a leaf and its loss rate exceeds ``p_threshold``; or
+* it is internal, **all** children exceed ``p_threshold``, and at least
+  ``eta_similar`` of the children have loss rates close to the children's
+  mean (similar losses indicate a common upstream cause); or
+* its parent is congested (congestion propagates down the subtree so that
+  corrective action is taken once, at the subtree root).
+
+The stage also records, per node, the maximum bytes received by any receiver
+in the node's subtree — the signal stage 2 uses to estimate link capacities.
+
+Leaves with no receiver report contribute ``None`` loss and are excluded
+from aggregation (a missing report must not look like 0% loss).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+from .config import TopoSenseConfig
+from .session_topology import SessionTree
+
+__all__ = ["compute_loss_rates", "compute_congestion", "compute_subtree_bytes"]
+
+
+def compute_loss_rates(
+    tree: SessionTree, leaf_loss: Mapping[Any, Optional[float]]
+) -> Dict[Any, Optional[float]]:
+    """Bottom-up min-propagation of per-session loss rates.
+
+    ``leaf_loss`` maps leaf nodes to their reported loss rate (or None when
+    unknown).  Returns loss for every node; internal nodes whose children are
+    all unknown get None.
+    """
+    loss: Dict[Any, Optional[float]] = {}
+    for node in tree.bottomup():
+        kids = tree.children.get(node)
+        if not kids:
+            loss[node] = leaf_loss.get(node)
+        else:
+            known = [loss[c] for c in kids if loss[c] is not None]
+            loss[node] = min(known) if known else None
+    return loss
+
+
+def compute_congestion(
+    tree: SessionTree,
+    loss: Mapping[Any, Optional[float]],
+    config: TopoSenseConfig,
+) -> Dict[Any, bool]:
+    """Label every node CONGESTED (True) / NOT-CONGESTED (False)."""
+    congested: Dict[Any, bool] = {}
+    # Bottom-up: local conditions.
+    for node in tree.bottomup():
+        kids = tree.children.get(node)
+        if not kids:
+            lv = loss.get(node)
+            congested[node] = lv is not None and lv > config.p_threshold
+            continue
+        child_losses = [loss[c] for c in kids if loss[c] is not None]
+        if not child_losses:
+            congested[node] = False
+            continue
+        all_lossy = len(child_losses) == len(kids) and all(
+            l > config.p_threshold for l in child_losses
+        )
+        if not all_lossy:
+            congested[node] = False
+            continue
+        mean = sum(child_losses) / len(child_losses)
+        close = sum(
+            1
+            for l in child_losses
+            if abs(l - mean) <= config.similar_tolerance * mean
+        )
+        congested[node] = close / len(child_losses) >= config.eta_similar
+    # Top-down: a congested parent makes the whole subtree congested.
+    for node in tree.topdown():
+        parent = tree.parent.get(node)
+        if parent is not None and congested[parent]:
+            congested[node] = True
+    return congested
+
+
+def compute_subtree_bytes(
+    tree: SessionTree, leaf_bytes: Mapping[Any, float]
+) -> Dict[Any, float]:
+    """Max bytes received by any receiver in each node's subtree.
+
+    For a multicast tree this is (a lower bound on) the bytes that actually
+    crossed the node's incoming link during the interval, because the link
+    carried the union of the layers any downstream receiver got.
+    """
+    out: Dict[Any, float] = {}
+    for node in tree.bottomup():
+        kids = tree.children.get(node)
+        if not kids:
+            out[node] = float(leaf_bytes.get(node, 0.0))
+        else:
+            out[node] = max(out[c] for c in kids)
+    return out

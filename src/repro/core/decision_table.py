@@ -1,0 +1,141 @@
+"""Stage 5a — the demand decision table (paper Table I).
+
+Demand at each node is decided by a table lookup keyed by:
+
+* the node's **congestion-state history** over the last three algorithm
+  intervals, encoded as a 3-bit integer — the state at T0 (oldest) in bit 2,
+  T1 in bit 1, T2 (current) in bit 0, with CONGESTED=1;
+* the **bandwidth equality** relation between the total bandwidth received
+  in [T0,T1] and in [T1,T2]: LESSER means the node received *less* in the
+  older interval than in the recent one (throughput rising), GREATER the
+  opposite, EQUAL within a tolerance;
+* whether the node is a leaf or internal.
+
+The module encodes the table verbatim; interpretation of the resulting
+:class:`Action` (how far to reduce, what "supply in T0–Tn" means) lives in
+:mod:`repro.core.subscription`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = [
+    "Action",
+    "BwEquality",
+    "leaf_action",
+    "internal_action",
+    "encode_history",
+    "classify_bandwidth",
+]
+
+
+class BwEquality(enum.Enum):
+    """Relation of bandwidth received in [T0,T1] vs [T1,T2]."""
+
+    LESSER = "lesser"
+    EQUAL = "equal"
+    GREATER = "greater"
+
+
+class Action(enum.Enum):
+    """Demand actions appearing in Table I."""
+
+    #: "Add next layer, if not backing off."
+    ADD_LAYER = "add_layer"
+    #: "If loss rate is high, drop layer, set backoff timer."
+    DROP_IF_HIGH_LOSS = "drop_if_high_loss"
+    #: "Maintain Demand."
+    MAINTAIN = "maintain"
+    #: "Reduce demand to supply in T0-Tn" (the older interval's supply).
+    REDUCE_TO_SUPPLY_OLD = "reduce_to_supply_old"
+    #: "Reduce Demand to half the supply in T0-Tn. Set the backoff timer."
+    REDUCE_HALF_OLD = "reduce_half_old"
+    #: "If loss is very high, then reduce demand to half the supply in T0-Tn."
+    REDUCE_HALF_IF_VERY_HIGH = "reduce_half_if_very_high"
+    #: Internal: "Accept all demands of the child nodes."
+    ACCEPT_CHILDREN = "accept_children"
+    #: Internal: "Reduce Demand to half the supply in Tn-T2n" (recent interval).
+    REDUCE_HALF_RECENT = "reduce_half_recent"
+
+
+def encode_history(t0: bool, t1: bool, t2: bool) -> int:
+    """Pack three congestion states into the table's 3-bit key.
+
+    ``t0`` is the oldest interval (bit 2), ``t2`` the current one (bit 0).
+    """
+    return (int(t0) << 2) | (int(t1) << 1) | int(t2)
+
+
+def classify_bandwidth(bw_old: float, bw_recent: float, tolerance: float) -> BwEquality:
+    """Table I's "BW Equality" column with a relative tolerance band."""
+    scale = max(bw_old, bw_recent)
+    if scale <= 0 or abs(bw_old - bw_recent) <= tolerance * scale:
+        return BwEquality.EQUAL
+    return BwEquality.LESSER if bw_old < bw_recent else BwEquality.GREATER
+
+
+# ----------------------------------------------------------------------
+# Table I, leaf rows.
+# ----------------------------------------------------------------------
+_LEAF_TABLE = {
+    BwEquality.LESSER: {
+        0: Action.ADD_LAYER,
+        1: Action.DROP_IF_HIGH_LOSS,
+        2: Action.MAINTAIN,
+        3: Action.REDUCE_TO_SUPPLY_OLD,
+        4: Action.MAINTAIN,
+        5: Action.MAINTAIN,
+        6: Action.MAINTAIN,
+        7: Action.REDUCE_HALF_OLD,
+    },
+    BwEquality.EQUAL: {
+        0: Action.ADD_LAYER,
+        1: Action.MAINTAIN,
+        2: Action.MAINTAIN,
+        3: Action.REDUCE_HALF_OLD,
+        4: Action.ADD_LAYER,
+        5: Action.MAINTAIN,
+        6: Action.MAINTAIN,
+        7: Action.REDUCE_HALF_OLD,
+    },
+    BwEquality.GREATER: {
+        0: Action.ADD_LAYER,
+        1: Action.MAINTAIN,
+        2: Action.MAINTAIN,
+        3: Action.REDUCE_HALF_IF_VERY_HIGH,
+        4: Action.MAINTAIN,
+        5: Action.MAINTAIN,
+        6: Action.MAINTAIN,
+        7: Action.REDUCE_HALF_IF_VERY_HIGH,
+    },
+}
+
+# ----------------------------------------------------------------------
+# Table I, internal-node rows.
+# ----------------------------------------------------------------------
+_INTERNAL_REDUCING = {1, 5, 7}
+_INTERNAL_ACCEPTING = {0, 4}
+_INTERNAL_MAINTAINING = {2, 3, 6}
+
+
+def leaf_action(history: int, equality: BwEquality) -> Action:
+    """Table I lookup for a leaf node."""
+    if not 0 <= history <= 7:
+        raise ValueError(f"history must be a 3-bit value, got {history}")
+    return _LEAF_TABLE[equality][history]
+
+
+def internal_action(history: int, equality: BwEquality) -> Action:
+    """Table I lookup for an internal node."""
+    if not 0 <= history <= 7:
+        raise ValueError(f"history must be a 3-bit value, got {history}")
+    if history in _INTERNAL_ACCEPTING:
+        return Action.ACCEPT_CHILDREN
+    if history in _INTERNAL_MAINTAINING:
+        return Action.MAINTAIN
+    # history in {1, 5, 7}: reduce, with the reference interval depending on
+    # whether throughput is falling (GREATER) or not.
+    if equality is BwEquality.GREATER:
+        return Action.REDUCE_HALF_RECENT
+    return Action.REDUCE_HALF_OLD

@@ -1,0 +1,119 @@
+"""Stage 4 — sharing bandwidth among competing sessions (paper §III).
+
+Max-min fair allocations provably may not exist for discrete layers (Sarkar
+and Tassiulas), so TopoSense uses an intuitive proportional rule.  On each
+*shared* link (one appearing in more than one session's tree):
+
+1. For every session ``i``, compute ``x_i``: the largest bandwidth the
+   session's subtree below the link could usefully consume if every *other*
+   session received only its base layer.  This is a top-down pass bounding
+   each node by ``capacity - sum(other sessions' base rates)`` on shared
+   links, followed by a bottom-up max over children (a node's demand is the
+   largest single downstream demand, as in multicast a link carries the max,
+   not the sum, of its subtree's layers).
+2. The fair share of session ``i`` is ``x_i * B / sum_j x_j`` where ``B`` is
+   the estimated link capacity.
+
+Every session is guaranteed at least its base-layer rate; links with an
+infinite (unknown) capacity estimate impose no constraint.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Mapping, Sequence, Tuple
+
+from ..media.layers import LayerSchedule
+from .session_topology import SessionTree
+
+__all__ = ["find_shared_links", "compute_max_demands", "compute_fair_shares"]
+
+Edge = Tuple[Any, Any]
+
+
+def find_shared_links(trees: Sequence[SessionTree]) -> Dict[Edge, List[Any]]:
+    """Map each link used by 2+ sessions to the session ids sharing it."""
+    users: Dict[Edge, List[Any]] = {}
+    for tree in trees:
+        for e in tree.edges:
+            users.setdefault(e, []).append(tree.session_id)
+    return {e: ids for e, ids in users.items() if len(ids) > 1}
+
+
+def compute_max_demands(
+    tree: SessionTree,
+    schedule: LayerSchedule,
+    capacity_of: Callable[[Edge], float],
+    shared: Mapping[Edge, List[Any]],
+    base_rate_of: Mapping[Any, float],
+) -> Dict[Any, float]:
+    """``x_i`` per node: max usable bandwidth if other sessions take base only.
+
+    Returns the bottom-up aggregated maximum possible demand (bits/s) for
+    every node of ``tree``.
+    """
+    bound: Dict[Any, float] = {tree.root: math.inf}
+    for node in tree.topdown():
+        if node == tree.root:
+            continue
+        edge = (tree.parent[node], node)
+        avail = capacity_of(edge)
+        if avail != math.inf and edge in shared:
+            others = sum(
+                base_rate_of[sid]
+                for sid in shared[edge]
+                if sid != tree.session_id
+            )
+            avail = avail - others
+        bound[node] = min(bound[tree.parent[node]], avail)
+
+    demand: Dict[Any, float] = {}
+    base = schedule.cumulative(1)
+    for node in tree.bottomup():
+        kids = tree.children.get(node)
+        if kids:
+            demand[node] = max(demand[c] for c in kids)
+        else:
+            if bound[node] == math.inf:
+                level = schedule.n_layers
+            else:
+                level = schedule.max_level_for(bound[node])
+            # Paper: every session gets at least the base layer.
+            demand[node] = max(schedule.cumulative(level), base)
+    return demand
+
+
+def compute_fair_shares(
+    trees: Sequence[SessionTree],
+    schedules: Mapping[Any, LayerSchedule],
+    capacity_of: Callable[[Edge], float],
+) -> Dict[Tuple[Edge, Any], float]:
+    """Fair share in bits/s for every (shared link, session) pair.
+
+    Links whose capacity estimate is infinite yield an infinite share (no
+    constraint — the estimator has seen no evidence of congestion there).
+    """
+    shared = find_shared_links(trees)
+    if not shared:
+        return {}
+    base_rate_of = {t.session_id: schedules[t.session_id].cumulative(1) for t in trees}
+    demands: Dict[Any, Dict[Any, float]] = {}
+    for tree in trees:
+        demands[tree.session_id] = compute_max_demands(
+            tree, schedules[tree.session_id], capacity_of, shared, base_rate_of
+        )
+    tree_by_id = {t.session_id: t for t in trees}
+    fair: Dict[Tuple[Edge, Any], float] = {}
+    for edge, sids in shared.items():
+        cap = capacity_of(edge)
+        xs = {}
+        for sid in sids:
+            head = edge[1]
+            xs[sid] = demands[sid].get(head, base_rate_of[sid])
+        total = sum(xs.values())
+        for sid in sids:
+            if cap == math.inf or total <= 0:
+                fair[(edge, sid)] = math.inf
+            else:
+                fair[(edge, sid)] = xs[sid] * cap / total
+    return fair

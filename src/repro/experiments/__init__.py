@@ -1,0 +1,18 @@
+"""Experiment scaffolding: scenario assembly, the paper's topologies, and
+per-figure experiment drivers."""
+
+from .domains import build_two_domain_topology
+from .scenario import ReceiverHandle, Scenario, ScenarioResult
+from .tiered import TierSpec, build_tiered_topology
+from .topologies import build_topology_a, build_topology_b
+
+__all__ = [
+    "Scenario",
+    "ScenarioResult",
+    "ReceiverHandle",
+    "build_topology_a",
+    "build_topology_b",
+    "build_two_domain_topology",
+    "build_tiered_topology",
+    "TierSpec",
+]

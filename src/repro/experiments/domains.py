@@ -1,0 +1,80 @@
+"""Multi-domain (hierarchical) control — the paper's Fig. 3 architecture.
+
+"Our architecture uses multiple controller agents, each concerned with one
+particular administrative domain.  Each domain and controller agent is
+unaware of the other controller agents' existence."
+
+:func:`build_two_domain_topology` constructs a session whose tree spans two
+administrative domains, each running its own TopoSense controller over its
+own clipped topology view::
+
+      src --- core ---+--- gw1 --- r1a, r1b     (domain 1, controller at gw1)
+                      |
+                      +--- gw2 --- r2a, r2b     (domain 2, controller at gw2)
+
+The scalability claim under test: congestion control is managed per
+subtree; each controller sees (and needs) only its domain's portion of the
+tree, and a bottleneck inside one domain never involves the other domain's
+controller.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.config import TopoSenseConfig
+from .scenario import Scenario
+from .topologies import BACKBONE_BW
+
+__all__ = ["build_two_domain_topology", "DOMAIN1_BW", "DOMAIN2_BW"]
+
+#: Domain 1's access bandwidth: fits 4 layers.
+DOMAIN1_BW = 500_000.0
+#: Domain 2's access bandwidth: fits 2 layers.
+DOMAIN2_BW = 100_000.0
+
+
+def build_two_domain_topology(
+    receivers_per_domain: int = 2,
+    traffic: str = "cbr",
+    peak_to_mean: float = 3.0,
+    seed: int = 0,
+    config: Optional[TopoSenseConfig] = None,
+    domain1_bw: float = DOMAIN1_BW,
+    domain2_bw: float = DOMAIN2_BW,
+) -> Scenario:
+    """One session, two domains, two independent controllers.
+
+    Domain 1's receivers sit behind ``domain1_bw`` access links (optimal 4
+    layers at the default), domain 2's behind ``domain2_bw`` (optimal 2).
+    Controllers are stationed at the domain gateways and discover only
+    their own domain's subtree.
+    """
+    if receivers_per_domain < 1:
+        raise ValueError("need at least one receiver per domain")
+    sc = Scenario(seed=seed)
+    sc.add_node("src")
+    sc.add_node("core")
+    sc.add_node("gw1")
+    sc.add_node("gw2")
+    sc.add_link("src", "core", bandwidth=BACKBONE_BW)
+    sc.add_link("core", "gw1", bandwidth=BACKBONE_BW)
+    sc.add_link("core", "gw2", bandwidth=BACKBONE_BW)
+
+    domain1 = {"gw1"}
+    domain2 = {"gw2"}
+    for i in range(receivers_per_domain):
+        sc.add_node(f"r1{i}")
+        sc.add_link("gw1", f"r1{i}", bandwidth=domain1_bw)
+        domain1.add(f"r1{i}")
+        sc.add_node(f"r2{i}")
+        sc.add_link("gw2", f"r2{i}", bandwidth=domain2_bw)
+        domain2.add(f"r2{i}")
+
+    sess = sc.add_session("src", traffic=traffic, peak_to_mean=peak_to_mean)
+    sc.attach_controller("gw1", name="d1", domain=domain1, config=config)
+    sc.attach_controller("gw2", name="d2", domain=domain2, config=config)
+    for i in range(receivers_per_domain):
+        sc.add_receiver(sess.session_id, f"r1{i}", receiver_id=f"D1-{i}", controller="d1")
+        sc.add_receiver(sess.session_id, f"r2{i}", receiver_id=f"D2-{i}", controller="d2")
+    return sc

@@ -1,0 +1,252 @@
+"""Per-figure experiment drivers.
+
+One function per table/figure of the paper's evaluation (§IV).  Each returns
+plain data rows (lists of dicts) so the CLI can print them and the benchmark
+harness can assert on their shape.
+
+Durations: the paper simulates 1200 s.  A pure-Python per-packet simulator is
+orders of magnitude slower than ns-2's C++ core, so the default horizon is
+shorter; set ``REPRO_FULL=1`` for the paper's full 1200 s or
+``REPRO_DURATION=<seconds>`` for anything else.  The *shape* of every result
+is stable across these horizons (the dynamics have a ~60 s warmup).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.decision_table import BwEquality, internal_action, leaf_action
+from ..metrics.deviation import mean_relative_deviation
+from ..metrics.stability import worst_receiver_stability
+from .topologies import build_topology_a, build_topology_b
+
+__all__ = [
+    "default_duration",
+    "TRAFFIC_MODELS",
+    "fig6_stability_topology_a",
+    "fig7_stability_topology_b",
+    "fig8_fairness",
+    "fig9_timeseries",
+    "fig10_staleness",
+    "table1_rows",
+]
+
+#: The three traffic models every figure of the paper sweeps.
+TRAFFIC_MODELS: Tuple[Tuple[str, float], ...] = (("cbr", 0.0), ("vbr", 3.0), ("vbr", 6.0))
+
+
+def default_duration(fallback: float = 300.0) -> float:
+    """Simulation horizon: REPRO_FULL=1 -> the paper's 1200 s, else
+    REPRO_DURATION seconds, else ``fallback``."""
+    if os.environ.get("REPRO_FULL"):
+        return 1200.0
+    env = os.environ.get("REPRO_DURATION")
+    return float(env) if env else fallback
+
+
+def _label(traffic: str, p: float) -> str:
+    return "CBR" if traffic == "cbr" else f"VBR(P={p:g})"
+
+
+# ----------------------------------------------------------------------
+# Figure 6 — stability in Topology A
+# ----------------------------------------------------------------------
+def fig6_stability_topology_a(
+    receiver_counts: Sequence[int] = (2, 4, 8),
+    traffic_models: Sequence[Tuple[str, float]] = TRAFFIC_MODELS,
+    duration: Optional[float] = None,
+    seed: int = 1,
+) -> List[Dict[str, Any]]:
+    """Max subscription changes by any receiver + mean time between changes.
+
+    One row per (traffic model, receiver count), mirroring the two panels of
+    the paper's Fig. 6.
+    """
+    duration = duration if duration is not None else default_duration()
+    rows = []
+    for traffic, p in traffic_models:
+        for n in receiver_counts:
+            sc = build_topology_a(
+                n_receivers=n, traffic=traffic, peak_to_mean=p, seed=seed
+            )
+            sc.run(duration)
+            changes, gap = worst_receiver_stability(
+                [h.trace for h in sc.receivers], 0.0, duration
+            )
+            rows.append(
+                {
+                    "figure": "6",
+                    "traffic": _label(traffic, p),
+                    "n_receivers": n,
+                    "duration": duration,
+                    "max_changes": changes,
+                    "mean_gap_s": gap,
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 7 — stability in Topology B
+# ----------------------------------------------------------------------
+def fig7_stability_topology_b(
+    session_counts: Sequence[int] = (2, 4, 8),
+    traffic_models: Sequence[Tuple[str, float]] = TRAFFIC_MODELS,
+    duration: Optional[float] = None,
+    seed: int = 1,
+) -> List[Dict[str, Any]]:
+    """Max changes in any session + mean gap, vs number of sessions."""
+    duration = duration if duration is not None else default_duration()
+    rows = []
+    for traffic, p in traffic_models:
+        for n in session_counts:
+            sc = build_topology_b(
+                n_sessions=n, traffic=traffic, peak_to_mean=p, seed=seed
+            )
+            sc.run(duration)
+            changes, gap = worst_receiver_stability(
+                [h.trace for h in sc.receivers], 0.0, duration
+            )
+            rows.append(
+                {
+                    "figure": "7",
+                    "traffic": _label(traffic, p),
+                    "n_sessions": n,
+                    "duration": duration,
+                    "max_changes": changes,
+                    "mean_gap_s": gap,
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 8 — inter-session fairness in Topology B
+# ----------------------------------------------------------------------
+def fig8_fairness(
+    session_counts: Sequence[int] = (2, 4, 8, 16),
+    traffic_models: Sequence[Tuple[str, float]] = TRAFFIC_MODELS,
+    duration: Optional[float] = None,
+    seed: int = 1,
+) -> List[Dict[str, Any]]:
+    """Mean relative deviation from the optimal 4 layers, for the first and
+    second halves of the run (the paper's 0-600 s / 600-1200 s split)."""
+    duration = duration if duration is not None else default_duration(600.0)
+    half = duration / 2.0
+    rows = []
+    for traffic, p in traffic_models:
+        for n in session_counts:
+            sc = build_topology_b(
+                n_sessions=n, traffic=traffic, peak_to_mean=p, seed=seed
+            )
+            res = sc.run(duration)
+            optimal = res.optimal_levels()
+            pairs = [
+                (h.trace, float(optimal[(h.session_id, h.receiver_id)]))
+                for h in sc.receivers
+            ]
+            rows.append(
+                {
+                    "figure": "8",
+                    "traffic": _label(traffic, p),
+                    "n_sessions": n,
+                    "duration": duration,
+                    "deviation_first_half": mean_relative_deviation(pairs, 0.0, half),
+                    "deviation_second_half": mean_relative_deviation(pairs, half, duration),
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 9 — subscription + loss time series, 4 competing VBR sessions
+# ----------------------------------------------------------------------
+def fig9_timeseries(
+    n_sessions: int = 4,
+    peak_to_mean: float = 3.0,
+    duration: Optional[float] = None,
+    seed: int = 1,
+) -> Dict[str, Any]:
+    """Per-session subscription traces and loss-rate series.
+
+    Returns the raw series plus summary statistics used to check the shape:
+    sessions should sit mostly at 4 layers, with occasional excursions to
+    5/6 followed by loss-driven back-off.
+    """
+    duration = duration if duration is not None else default_duration()
+    sc = build_topology_b(
+        n_sessions=n_sessions, traffic="vbr", peak_to_mean=peak_to_mean, seed=seed
+    )
+    sc.run(duration)
+    sessions = {}
+    warmup = min(60.0, duration / 4)
+    for h in sc.receivers:
+        trace = h.trace
+        losses = h.receiver.loss_series
+        sessions[h.receiver_id] = {
+            "subscription": list(zip(trace.times, trace.values)),
+            "loss": list(zip(losses.times, losses.values)),
+            "mean_level": trace.time_weighted_mean(warmup, duration),
+            "max_level": max(trace.values),
+            "over_subscribed": any(v > 4 for v in trace.values),
+        }
+    return {
+        "figure": "9",
+        "duration": duration,
+        "n_sessions": n_sessions,
+        "sessions": sessions,
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 10 — impact of stale topology information (Topology A, VBR P=3)
+# ----------------------------------------------------------------------
+def fig10_staleness(
+    staleness_values: Sequence[float] = (0.0, 2.0, 4.0, 8.0, 12.0, 18.0),
+    receiver_counts: Sequence[int] = (2, 4, 8),
+    duration: Optional[float] = None,
+    seed: int = 1,
+) -> List[Dict[str, Any]]:
+    """Mean relative deviation vs staleness of discovery information."""
+    duration = duration if duration is not None else default_duration()
+    warmup = min(60.0, duration / 4)
+    rows = []
+    for n in receiver_counts:
+        for staleness in staleness_values:
+            sc = build_topology_a(
+                n_receivers=n, traffic="vbr", peak_to_mean=3.0,
+                seed=seed, staleness=staleness,
+            )
+            res = sc.run(duration)
+            rows.append(
+                {
+                    "figure": "10",
+                    "n_receivers": n,
+                    "staleness_s": staleness,
+                    "duration": duration,
+                    "deviation": res.mean_deviation(warmup, duration),
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table I — the demand decision table itself
+# ----------------------------------------------------------------------
+def table1_rows() -> List[Dict[str, Any]]:
+    """Enumerate the full decision table (24 leaf + 24 internal cells)."""
+    rows = []
+    for kind, fn in (("leaf", leaf_action), ("internal", internal_action)):
+        for eq in BwEquality:
+            for hist in range(8):
+                rows.append(
+                    {
+                        "table": "I",
+                        "node": kind,
+                        "history": hist,
+                        "bw_equality": eq.value,
+                        "action": fn(hist, eq).value,
+                    }
+                )
+    return rows

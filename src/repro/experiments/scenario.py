@@ -1,0 +1,406 @@
+"""High-level scenario assembly: one object wiring the whole stack together.
+
+:class:`Scenario` owns a scheduler, network, multicast manager, sources,
+receivers and (optionally) a controller agent, and exposes the handful of
+calls an experiment needs::
+
+    sc = Scenario(seed=1)
+    sc.add_node("src"); sc.add_node("x"); sc.add_node("r1")
+    sc.add_link("src", "x", bandwidth=10e6); sc.add_link("x", "r1", bandwidth=500e3)
+    sess = sc.add_session("src", traffic="vbr", peak_to_mean=3)
+    sc.attach_controller("src")                      # TopoSense by default
+    sc.add_receiver(sess.session_id, "r1")
+    result = sc.run(duration=300.0)
+    print(result.summary())
+
+Receiver *modes*:
+
+* ``"controlled"`` — a :class:`~repro.control.agent.ReceiverAgent` reports to
+  the controller and obeys its suggestions (the TopoSense architecture);
+* ``"rlm"`` — a topology-blind :class:`~repro.baselines.rlm.RLMReceiver`
+  adapts on its own (baseline);
+* ``"static"`` — no adaptation at all; stays at ``initial_level``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..baselines.oracle import optimal_levels
+from ..baselines.rlm import RLMReceiver
+from ..baselines.session_plan import SessionPlan
+from ..control.agent import ControllerAgent, ReceiverAgent
+from ..control.discovery import TopologyDiscovery
+from ..control.session import SessionDescriptor
+from ..core.config import TopoSenseConfig
+from ..core.toposense import TopoSense
+from ..media.layers import PAPER_SCHEDULE, LayerSchedule
+from ..media.receiver import LayeredReceiver
+from ..media.source import CBR, VBR, LayeredSource
+from ..metrics.deviation import mean_relative_deviation, relative_deviation
+from ..metrics.stability import worst_receiver_stability
+from ..multicast.manager import MulticastManager
+from ..simnet.engine import Scheduler
+from ..simnet.rng import RngRegistry
+from ..simnet.topology import Network
+from ..simnet.tracing import StepTrace
+
+__all__ = ["Scenario", "ScenarioResult", "ReceiverHandle"]
+
+
+@dataclass
+class ReceiverHandle:
+    """Everything an experiment needs about one receiver."""
+
+    receiver_id: Any
+    session_id: Any
+    node: Any
+    receiver: LayeredReceiver
+    mode: str
+    agent: Any = None  # ReceiverAgent or RLMReceiver, set at run()
+    controller_name: str = "default"
+
+    @property
+    def trace(self) -> StepTrace:
+        """The receiver's subscription-level trace."""
+        return self.receiver.trace
+
+
+class Scenario:
+    """A complete simulation setup (network + sessions + control plane)."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        leave_latency: float = 1.0,
+        igmp_report_delay: float = 0.05,
+        default_queue_limit: int = 32,
+        default_delay: float = 0.2,
+    ):
+        self.sched = Scheduler()
+        self.network = Network(self.sched)
+        self.mcast = MulticastManager(
+            self.network, leave_latency=leave_latency, igmp_report_delay=igmp_report_delay
+        )
+        self.rngs = RngRegistry(seed)
+        self.seed = seed
+        self.default_queue_limit = default_queue_limit
+        self.default_delay = default_delay
+        self.sessions: Dict[Any, SessionDescriptor] = {}
+        self.sources: Dict[Any, LayeredSource] = {}
+        self.plans: Dict[Any, SessionPlan] = {}
+        self.receivers: List[ReceiverHandle] = []
+        self.controllers: Dict[str, ControllerAgent] = {}
+        self.discoveries: Dict[str, TopologyDiscovery] = {}
+        self._controller_nodes: Dict[str, Any] = {}
+        self._session_counter = 0
+        self._receiver_counter = 0
+        self._routes_built = False
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # Topology construction (thin delegation)
+    # ------------------------------------------------------------------
+    def add_node(self, name: Any):
+        """Add a node to the network."""
+        return self.network.add_node(name)
+
+    def add_link(self, a: Any, b: Any, bandwidth: float, delay: Optional[float] = None,
+                 queue_limit: Optional[int] = None, **kw):
+        """Add a (bidirectional by default) link; paper defaults applied.
+
+        When ``queue_limit`` is not given it is sized to roughly half a
+        second of line rate (clamped to [8, ``default_queue_limit``]): a
+        fixed deep buffer on a slow link would hide overload for several
+        seconds and take as long to drain, distorting every loss signal the
+        controller depends on.
+        """
+        if queue_limit is None:
+            queue_limit = int(min(self.default_queue_limit, max(8, bandwidth * 0.5 / 8000)))
+        return self.network.add_link(
+            a,
+            b,
+            bandwidth=bandwidth,
+            delay=self.default_delay if delay is None else delay,
+            queue_limit=queue_limit,
+            **kw,
+        )
+
+    # ------------------------------------------------------------------
+    # Sessions / receivers / controller
+    # ------------------------------------------------------------------
+    def add_session(
+        self,
+        source: Any,
+        traffic: str = "cbr",
+        peak_to_mean: float = 3.0,
+        schedule: Optional[LayerSchedule] = None,
+        session_id: Optional[Any] = None,
+        start_at: Optional[float] = None,
+    ) -> SessionDescriptor:
+        """Create a layered session rooted at ``source`` and its source app.
+
+        ``start_at`` defaults to the current simulated time, so sessions can
+        also be added between :meth:`run` calls (a competing session arriving
+        mid-experiment).
+        """
+        if schedule is None:
+            schedule = PAPER_SCHEDULE
+        if session_id is None:
+            session_id = self._session_counter
+        if session_id in self.sessions:
+            raise ValueError(f"duplicate session id {session_id!r}")
+        self._session_counter += 1
+        groups = tuple(self.mcast.create_group(source) for _ in range(schedule.n_layers))
+        descriptor = SessionDescriptor(session_id, source, groups, schedule)
+        model = CBR if traffic == "cbr" else VBR
+        src_app = LayeredSource(
+            self.network.node(source),
+            session_id,
+            groups,
+            schedule,
+            model=model,
+            peak_to_mean=peak_to_mean,
+            rng=self.rngs.fork(f"vbr/{session_id}"),
+            phase_jitter=True,
+        )
+        self.sessions[session_id] = descriptor
+        self.sources[session_id] = src_app
+        self.plans[session_id] = SessionPlan(session_id, source, schedule)
+        src_app.start(at=self.sched.now if start_at is None else start_at)
+        for controller in self.controllers.values():
+            controller.add_session(descriptor)
+        return descriptor
+
+    def add_receiver(
+        self,
+        session_id: Any,
+        node: Any,
+        receiver_id: Optional[Any] = None,
+        initial_level: int = 1,
+        mode: str = "controlled",
+        controller: str = "default",
+    ) -> ReceiverHandle:
+        """Place a receiver for ``session_id`` at ``node``.
+
+        ``controller`` names the controller agent the receiver registers
+        with (only meaningful for ``mode="controlled"``; multi-domain
+        scenarios attach one controller per domain).
+        """
+        if mode not in ("controlled", "rlm", "static"):
+            raise ValueError(f"unknown receiver mode {mode!r}")
+        descriptor = self.sessions[session_id]
+        if receiver_id is None:
+            receiver_id = f"r{self._receiver_counter}"
+        self._receiver_counter += 1
+        receiver = LayeredReceiver(
+            self.network.node(node),
+            session_id,
+            list(descriptor.groups),
+            descriptor.schedule,
+            self.mcast,
+            receiver_id=receiver_id,
+            initial_level=initial_level,
+        )
+        handle = ReceiverHandle(
+            receiver_id, session_id, node, receiver, mode, controller_name=controller
+        )
+        self.receivers.append(handle)
+        self.plans[session_id].add_receiver(receiver_id, node)
+        return handle
+
+    def attach_controller(
+        self,
+        node: Any,
+        algorithm: Optional[Any] = None,
+        config: Optional[TopoSenseConfig] = None,
+        interval: Optional[float] = None,
+        staleness: float = 0.0,
+        name: str = "default",
+        domain: Optional[set] = None,
+    ) -> ControllerAgent:
+        """Station a controller agent at ``node``.
+
+        ``algorithm`` defaults to a fresh :class:`TopoSense`; pass an
+        :class:`~repro.baselines.oracle.OracleController` or
+        :class:`~repro.baselines.static.StaticController` for baselines.
+
+        Multi-domain scenarios (the paper's Fig. 3 hierarchy) attach one
+        controller per domain, each with a distinct ``name`` and a
+        ``domain`` node set its discovery tool is clipped to; receivers
+        then pick their controller via ``add_receiver(..., controller=)``.
+        """
+        if name in self.controllers:
+            raise ValueError(f"controller {name!r} already attached")
+        cfg = config if config is not None else TopoSenseConfig()
+        if interval is None:
+            interval = cfg.interval
+        if algorithm is None:
+            algorithm = TopoSense(
+                config=cfg, rng=self.rngs.fork(f"toposense/backoff/{name}")
+            )
+        discovery = TopologyDiscovery(self.mcast, staleness=staleness, domain=domain)
+        controller = ControllerAgent(
+            self.network.node(node),
+            list(self.sessions.values()),
+            discovery,
+            algorithm,
+            interval=interval,
+            info_staleness=staleness,
+        )
+        self.discoveries[name] = discovery
+        self.controllers[name] = controller
+        self._controller_nodes[name] = node
+        return controller
+
+    # -- single-controller conveniences (most scenarios) -----------------
+    @property
+    def controller(self) -> Optional[ControllerAgent]:
+        """The sole controller, when exactly one is attached (else first)."""
+        if not self.controllers:
+            return None
+        return next(iter(self.controllers.values()))
+
+    @property
+    def discovery(self) -> Optional[TopologyDiscovery]:
+        """The first controller's discovery tool (convenience)."""
+        if not self.discoveries:
+            return None
+        return next(iter(self.discoveries.values()))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, duration: float) -> "ScenarioResult":
+        """Build routes, start pending agents, simulate for ``duration`` s.
+
+        Receivers added between :meth:`run` calls get their agents started
+        on the next call, so dynamic-membership experiments can interleave
+        ``run`` / ``add_receiver`` / ``detach_receiver``.
+        """
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        if not self._routes_built:
+            self.network.build_routes()
+            self._routes_built = True
+        for handle in self.receivers:
+            if handle.agent is not None or handle.mode == "static":
+                continue
+            if handle.mode == "controlled":
+                controller = self.controllers.get(handle.controller_name)
+                if controller is None:
+                    raise ValueError(
+                        f"receiver {handle.receiver_id!r} needs controller "
+                        f"{handle.controller_name!r}: attach_controller() first"
+                    )
+                handle.agent = ReceiverAgent(
+                    handle.receiver,
+                    self._controller_nodes[handle.controller_name],
+                    interval=controller.interval,
+                    rng=self.rngs.fork(f"rcvagent/{handle.receiver_id}"),
+                )
+                handle.agent.start()
+            elif handle.mode == "rlm":
+                handle.agent = RLMReceiver(
+                    handle.receiver, rng=self.rngs.fork(f"rlm/{handle.receiver_id}")
+                )
+                handle.agent.start()
+        for controller in self.controllers.values():
+            controller.start()  # idempotent
+        self._ran = True
+        self.sched.run(until=self.sched.now + duration)
+        return ScenarioResult(self, self.sched.now)
+
+    def detach_receiver(self, handle: ReceiverHandle) -> None:
+        """Make a receiver depart: stop its control agent and unsubscribe.
+
+        The handle (and its traces) stay available for analysis; the oracle
+        plan keeps the receiver, so compute post-departure optima yourself
+        when mixing departures with :meth:`ScenarioResult.optimal_levels`.
+        """
+        if handle.agent is not None and hasattr(handle.agent, "stop"):
+            handle.agent.stop()
+        if handle.receiver.level > 0:
+            handle.receiver.set_level(0)
+
+
+class ScenarioResult:
+    """Post-run accessors for traces, metrics and the oracle optimum."""
+
+    def __init__(self, scenario: Scenario, end_time: float):
+        self.scenario = scenario
+        self.end_time = end_time
+
+    # ------------------------------------------------------------------
+    @property
+    def receivers(self) -> List[ReceiverHandle]:
+        """All receiver handles in creation order."""
+        return self.scenario.receivers
+
+    def trace(self, receiver_id: Any) -> StepTrace:
+        """Subscription trace of one receiver."""
+        for h in self.scenario.receivers:
+            if h.receiver_id == receiver_id:
+                return h.trace
+        raise KeyError(receiver_id)
+
+    def optimal_levels(self, headroom: float = 1.0) -> Dict[Tuple[Any, Any], int]:
+        """Oracle optimum per (session, receiver), from true capacities."""
+        return optimal_levels(
+            self.scenario.network, list(self.scenario.plans.values()), headroom=headroom
+        )
+
+    # ------------------------------------------------------------------
+    def mean_deviation(
+        self, t0: float = 0.0, t1: Optional[float] = None, headroom: float = 1.0
+    ) -> float:
+        """Paper metric: mean relative deviation from optimal over [t0, t1]."""
+        if t1 is None:
+            t1 = self.end_time
+        optimal = self.optimal_levels(headroom=headroom)
+        pairs = [
+            (h.trace, float(optimal[(h.session_id, h.receiver_id)]))
+            for h in self.scenario.receivers
+        ]
+        return mean_relative_deviation(pairs, t0, t1)
+
+    def deviation_of(
+        self, receiver_id: Any, t0: float = 0.0, t1: Optional[float] = None,
+        headroom: float = 1.0,
+    ) -> float:
+        """Relative deviation of one receiver."""
+        if t1 is None:
+            t1 = self.end_time
+        optimal = self.optimal_levels(headroom=headroom)
+        for h in self.scenario.receivers:
+            if h.receiver_id == receiver_id:
+                return relative_deviation(
+                    h.trace, float(optimal[(h.session_id, h.receiver_id)]), t0, t1
+                )
+        raise KeyError(receiver_id)
+
+    def stability(self, t0: float = 0.0, t1: Optional[float] = None) -> Tuple[int, float]:
+        """(max changes by any receiver, mean gap for that receiver)."""
+        if t1 is None:
+            t1 = self.end_time
+        return worst_receiver_stability([h.trace for h in self.receivers], t0, t1)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """Human-readable per-receiver summary (used by examples/CLI)."""
+        lines = [
+            f"simulated {self.end_time:.0f}s, "
+            f"{self.scenario.sched.events_processed} events, "
+            f"{self.scenario.network.total_drops()} queue drops"
+        ]
+        optimal = self.optimal_levels()
+        for h in self.receivers:
+            opt = optimal.get((h.session_id, h.receiver_id))
+            mean_lvl = h.trace.time_weighted_mean(0.0, self.end_time)
+            lines.append(
+                f"  session {h.session_id} {h.receiver_id}@{h.node}: "
+                f"level={h.receiver.level} (mean {mean_lvl:.2f}, optimal {opt}), "
+                f"{h.trace.num_changes(0.0, self.end_time)} changes"
+            )
+        return "\n".join(lines)

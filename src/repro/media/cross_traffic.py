@@ -1,0 +1,129 @@
+"""Non-conforming cross traffic (paper §III).
+
+"Since transient non-conforming flows ... can lead to wrong estimates of
+bandwidth, the capacity is reset to infinity at periodic intervals and
+recomputed."  To exercise that code path the simulator needs flows that do
+not participate in the control loop at all: :class:`OnOffSource` is a plain
+unicast UDP-style burst source alternating fixed ON (transmitting at
+``rate``) and OFF periods.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from ..simnet.node import Node
+from ..simnet.packet import DATA, Packet
+
+__all__ = ["OnOffSource"]
+
+
+class OnOffSource:
+    """Unicast on/off burst source between two nodes.
+
+    Parameters
+    ----------
+    node:
+        Source node the traffic originates from.
+    dst:
+        Destination node name (packets use port ``"crosstraffic"``).
+    rate:
+        Transmit rate during ON periods, bits/s.
+    on_time / off_time:
+        Mean ON / OFF durations in seconds.  With ``rng`` given the actual
+        durations are exponential with these means (classic on/off model);
+        without, they are fixed.
+    packet_size:
+        Bytes per packet.
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        dst: Any,
+        rate: float,
+        on_time: float = 2.0,
+        off_time: float = 8.0,
+        packet_size: int = 1000,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if rate <= 0 or on_time <= 0 or off_time < 0:
+            raise ValueError("rate and on_time must be positive, off_time >= 0")
+        self.node = node
+        self.sched = node.sched
+        self.dst = dst
+        self.rate = float(rate)
+        self.on_time = on_time
+        self.off_time = off_time
+        self.packet_size = packet_size
+        self.rng = rng
+        self.packets_sent = 0
+        self._running = False
+        self._on = False
+        self._next_seq = 0
+        self._event = None
+        self._gen = 0  # emit-chain generation: prevents duplicate chains
+
+    # ------------------------------------------------------------------
+    def start(self, at: Optional[float] = None) -> None:
+        """Begin the on/off cycle (first period is OFF by convention)."""
+        if self._running:
+            return
+        self._running = True
+        when = self.sched.now if at is None else at
+        self._event = self.sched.at(when, self._begin_on)
+
+    def stop(self) -> None:
+        """Stop transmitting."""
+        self._running = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    @property
+    def running(self) -> bool:
+        """Whether the source is active (in either phase)."""
+        return self._running
+
+    # ------------------------------------------------------------------
+    def _duration(self, mean: float) -> float:
+        if mean <= 0:
+            return 0.0
+        if self.rng is None:
+            return mean
+        return float(self.rng.exponential(mean))
+
+    def _begin_on(self) -> None:
+        if not self._running:
+            return
+        self._on = True
+        self._gen += 1
+        self._emit(self._gen)
+        self._event = self.sched.after(self._duration(self.on_time), self._begin_off)
+
+    def _begin_off(self) -> None:
+        if not self._running:
+            return
+        self._on = False
+        self._event = self.sched.after(self._duration(self.off_time), self._begin_on)
+
+    def _emit(self, gen: int) -> None:
+        if not self._running or not self._on or gen != self._gen:
+            return
+        self.node.send(
+            Packet(
+                src=self.node.name,
+                dst=self.dst,
+                port="crosstraffic",
+                size=self.packet_size,
+                seq=self._next_seq,
+                kind=DATA,
+                created_at=self.sched.now,
+            )
+        )
+        self._next_seq += 1
+        self.packets_sent += 1
+        spacing = self.packet_size * 8.0 / self.rate
+        self.sched.after(spacing, self._emit, gen)

@@ -1,0 +1,100 @@
+"""Cumulative layer schedule.
+
+The paper's sources transmit a layered video session of 6 layers; the base
+layer is 32 Kb/s and each subsequent layer doubles the previous layer's rate
+(§IV).  Layers are *cumulative*: a receiver at subscription level ``k``
+receives layers ``1..k``.  TopoSense assumes the per-layer rates are known
+(advertised with the group addresses), which is what this class encodes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+__all__ = ["LayerSchedule", "PAPER_SCHEDULE"]
+
+
+class LayerSchedule:
+    """Advertised rates for the layers of a session.
+
+    Parameters
+    ----------
+    n_layers:
+        Number of layers (paper: 6).
+    base_rate:
+        Base-layer rate in bits/s (paper: 32 Kb/s).
+    growth:
+        Multiplicative rate growth per layer (paper: 2.0).
+    rates:
+        Alternatively, explicit per-layer rates in bits/s (overrides the
+        geometric construction); used by the layer-granularity ablation.
+    """
+
+    def __init__(
+        self,
+        n_layers: int = 6,
+        base_rate: float = 32_000.0,
+        growth: float = 2.0,
+        rates: Sequence[float] = None,
+    ):
+        if rates is not None:
+            if not rates or any(r <= 0 for r in rates):
+                raise ValueError("explicit rates must be a non-empty positive sequence")
+            self.rates: Tuple[float, ...] = tuple(float(r) for r in rates)
+        else:
+            if n_layers < 1:
+                raise ValueError(f"need at least one layer, got {n_layers}")
+            if base_rate <= 0 or growth <= 0:
+                raise ValueError("base_rate and growth must be positive")
+            self.rates = tuple(base_rate * growth**i for i in range(n_layers))
+        cum = []
+        total = 0.0
+        for r in self.rates:
+            total += r
+            cum.append(total)
+        self._cumulative: Tuple[float, ...] = tuple(cum)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_layers(self) -> int:
+        """Number of layers in the session."""
+        return len(self.rates)
+
+    def rate(self, layer: int) -> float:
+        """Rate of layer ``layer`` (1-based) in bits/s."""
+        if not 1 <= layer <= self.n_layers:
+            raise ValueError(f"layer must be in 1..{self.n_layers}, got {layer}")
+        return self.rates[layer - 1]
+
+    def cumulative(self, level: int) -> float:
+        """Total bits/s consumed at subscription level ``level`` (0 => 0)."""
+        if level <= 0:
+            return 0.0
+        if level > self.n_layers:
+            raise ValueError(f"level must be <= {self.n_layers}, got {level}")
+        return self._cumulative[level - 1]
+
+    def max_level_for(self, bandwidth: float) -> int:
+        """Highest level whose cumulative rate fits within ``bandwidth``."""
+        level = 0
+        for k, total in enumerate(self._cumulative, start=1):
+            if total <= bandwidth:
+                level = k
+            else:
+                break
+        return level
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, LayerSchedule) and self.rates == other.rates
+
+    def __hash__(self) -> int:
+        return hash(self.rates)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kbps = ", ".join(f"{r / 1e3:g}" for r in self.rates)
+        return f"<LayerSchedule [{kbps}] Kb/s>"
+
+
+#: The exact schedule used throughout the paper's evaluation:
+#: 32, 64, 128, 256, 512, 1024 Kb/s (cumulative 32..2016 Kb/s).
+PAPER_SCHEDULE = LayerSchedule(n_layers=6, base_rate=32_000.0, growth=2.0)

@@ -1,0 +1,19 @@
+"""Evaluation metrics: the paper's relative deviation (§IV), the Fig. 6/7
+stability pair, and supporting fairness indices."""
+
+from .ascii_plot import render_histogram, render_level_timeline, render_series
+from .deviation import mean_relative_deviation, relative_deviation
+from .fairness import bandwidth_shares, jain_index
+from .stability import subscription_changes, worst_receiver_stability
+
+__all__ = [
+    "relative_deviation",
+    "mean_relative_deviation",
+    "subscription_changes",
+    "worst_receiver_stability",
+    "jain_index",
+    "bandwidth_shares",
+    "render_level_timeline",
+    "render_series",
+    "render_histogram",
+]

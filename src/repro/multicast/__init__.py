@@ -1,0 +1,8 @@
+"""IP multicast substrate: group addressing, membership with IGMP-style
+graft/leave latency, and source-based shortest-path distribution trees.
+"""
+
+from .addressing import GroupAllocator
+from .manager import GroupState, MulticastManager, TreeSnapshot
+
+__all__ = ["GroupAllocator", "GroupState", "MulticastManager", "TreeSnapshot"]

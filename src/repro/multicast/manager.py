@@ -1,0 +1,280 @@
+"""Multicast membership and distribution-tree maintenance.
+
+The manager models the pieces of IP multicast the paper's evaluation depends
+on, without simulating a routing protocol packet-by-packet:
+
+* **Source-based shortest-path trees** — the distribution tree for a group is
+  the union of delay-weighted shortest paths from the source to each member,
+  which is what DVMRP/PIM-SM(SSM) converge to in ns-2.
+* **Graft latency** — a join becomes effective after the time a graft message
+  needs to travel from the joining host up to the nearest on-tree router
+  (plus a small IGMP report delay).
+* **Leave latency** — a leave becomes effective only after
+  ``leave_latency`` seconds, modelling the IGMP last-member query timeout the
+  paper calls out in §V ("Group-leave latency and layer granularity").
+
+The manager records a **snapshot history** of ``(time, members, edges)`` per
+group.  The topology-discovery tool (:mod:`repro.control.discovery`) serves
+stale snapshots out of this history, which is how the paper's Fig. 10
+staleness experiment is reproduced.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..simnet.topology import Network
+from .addressing import GroupAllocator
+
+__all__ = ["GroupState", "MulticastManager", "TreeSnapshot"]
+
+Edge = Tuple[Any, Any]
+
+
+class TreeSnapshot:
+    """Immutable record of a group's state at a point in time."""
+
+    __slots__ = ("time", "members", "edges")
+
+    def __init__(self, time: float, members: FrozenSet[Any], edges: FrozenSet[Edge]):
+        self.time = time
+        self.members = members
+        self.edges = edges
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TreeSnapshot t={self.time:.2f} members={sorted(map(str, self.members))}>"
+
+
+class GroupState:
+    """Mutable per-group bookkeeping."""
+
+    def __init__(self, group: int, source: Any):
+        self.group = group
+        self.source = source
+        self.members: Set[Any] = set()
+        self.desired: Dict[Any, bool] = {}
+        self.edges: Set[Edge] = set()
+        self.history: List[TreeSnapshot] = []
+
+    def tree_nodes(self) -> Set[Any]:
+        """All nodes currently spanned by the distribution tree."""
+        nodes = {self.source}
+        for u, v in self.edges:
+            nodes.add(u)
+            nodes.add(v)
+        return nodes
+
+
+class MulticastManager:
+    """Tracks membership and installs multicast forwarding state on nodes.
+
+    Parameters
+    ----------
+    network:
+        The :class:`~repro.simnet.topology.Network` whose nodes receive
+        forwarding entries.
+    leave_latency:
+        Seconds between a leave request and traffic actually stopping
+        (IGMP last-member query timeout; ns-2-like default 2 s).
+    igmp_report_delay:
+        Fixed local-subnet latency added to every graft.
+    expedited_leave:
+        Paper §V extension: "Expedited group-leaves, where routers keep
+        track of receivers downstream, may also be considered for decreasing
+        group-leave latency."  When True, a leave propagates like a prune
+        message (per-hop delay up to the branch point) instead of waiting
+        the full IGMP timeout — routers already know there is no other
+        downstream receiver.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        leave_latency: float = 2.0,
+        igmp_report_delay: float = 0.05,
+        expedited_leave: bool = False,
+    ):
+        if leave_latency < 0 or igmp_report_delay < 0:
+            raise ValueError("latencies must be non-negative")
+        self.network = network
+        self.sched = network.sched
+        self.leave_latency = leave_latency
+        self.igmp_report_delay = igmp_report_delay
+        self.expedited_leave = expedited_leave
+        self.groups: Dict[int, GroupState] = {}
+        self.allocator = GroupAllocator()
+
+    # ------------------------------------------------------------------
+    # Group lifecycle
+    # ------------------------------------------------------------------
+    def create_group(self, source: Any, group: Optional[int] = None) -> int:
+        """Register a group rooted at ``source``; returns its address."""
+        if source not in self.network.nodes:
+            raise KeyError(f"unknown source node {source!r}")
+        if group is None:
+            group = self.allocator.allocate()
+        if group in self.groups:
+            raise ValueError(f"group {group} already exists")
+        state = GroupState(group, source)
+        self.groups[group] = state
+        self._record_snapshot(state)
+        return group
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def join(self, group: int, member: Any) -> float:
+        """Request that ``member`` join ``group``.
+
+        Returns the simulated time at which the join becomes effective (the
+        graft completes and data starts flowing toward the member).
+        """
+        state = self._state(group)
+        if member not in self.network.nodes:
+            raise KeyError(f"unknown member node {member!r}")
+        state.desired[member] = True
+        delay = self._graft_delay(state, member)
+        effective = self.sched.now + delay
+        self.sched.after(delay, self._apply, state, member)
+        return effective
+
+    def leave(self, group: int, member: Any) -> float:
+        """Request that ``member`` leave ``group``.
+
+        Returns the time traffic will actually stop.  With standard IGMP
+        semantics that is ``leave_latency`` later; data keeps flowing — and
+        keeps congesting links — until then, which is the paper's §V
+        group-leave concern.  With :attr:`expedited_leave` the prune only
+        needs to propagate to the nearest branch point.
+        """
+        state = self._state(group)
+        state.desired[member] = False
+        if self.expedited_leave:
+            delay = self._prune_delay(state, member)
+        else:
+            delay = self.leave_latency
+        effective = self.sched.now + delay
+        self.sched.after(delay, self._apply, state, member)
+        return effective
+
+    def _prune_delay(self, state: GroupState, member: Any) -> float:
+        """Propagation time for an expedited prune from ``member`` up to the
+        deepest ancestor that still serves another branch."""
+        if member == state.source or member not in state.tree_nodes():
+            return self.igmp_report_delay
+        # Count downstream members below each ancestor; the prune stops at
+        # the first ancestor with another active branch (or the source).
+        path = self.network.shortest_path(state.source, member)
+        delay = self.igmp_report_delay
+        members_below: Dict[Any, int] = {}
+        for m in state.members:
+            if m == member:
+                continue
+            for node in self.network.shortest_path(state.source, m):
+                members_below[node] = members_below.get(node, 0) + 1
+        for i in range(len(path) - 1, 0, -1):
+            parent = path[i - 1]
+            delay += self.network.graph.edges[parent, path[i]]["delay"]
+            if members_below.get(parent, 0) > 0 or parent == state.source:
+                break
+        return delay
+
+    def _apply(self, state: GroupState, member: Any) -> None:
+        """Reconcile ``member``'s actual membership with the desired state.
+
+        Join/leave races resolve to whatever was requested most recently
+        because each apply event re-reads ``desired`` at its fire time.
+        """
+        want = state.desired.get(member, False)
+        have = member in state.members
+        if want == have:
+            return
+        if want:
+            state.members.add(member)
+        else:
+            state.members.discard(member)
+        self._rebuild(state)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def members(self, group: int) -> FrozenSet[Any]:
+        """Current effective members of ``group``."""
+        return frozenset(self._state(group).members)
+
+    def tree_edges(self, group: int) -> FrozenSet[Edge]:
+        """Current directed edges of the group's distribution tree."""
+        return frozenset(self._state(group).edges)
+
+    def source_of(self, group: int) -> Any:
+        """The source node the group's tree is rooted at."""
+        return self._state(group).source
+
+    def snapshot_at(self, group: int, at_time: float) -> TreeSnapshot:
+        """The most recent snapshot with ``time <= at_time``.
+
+        This is the primitive the (possibly stale) topology-discovery tool is
+        built on.  Requesting a time before the group existed returns the
+        empty initial snapshot.
+        """
+        history = self._state(group).history
+        times = [snap.time for snap in history]
+        i = bisect_right(times, at_time) - 1
+        return history[max(i, 0)]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _state(self, group: int) -> GroupState:
+        try:
+            return self.groups[group]
+        except KeyError:
+            raise KeyError(f"unknown group {group}") from None
+
+    def _graft_delay(self, state: GroupState, member: Any) -> float:
+        """Propagation time for a graft from ``member`` to the on-tree point."""
+        if member == state.source:
+            return self.igmp_report_delay
+        tree_nodes = state.tree_nodes()
+        path = self.network.shortest_path(state.source, member)
+        # Walk from the member up toward the source, accumulating delay until
+        # we reach a router already on the tree.
+        delay = self.igmp_report_delay
+        for i in range(len(path) - 1, 0, -1):
+            node = path[i - 1]
+            delay += self.network.graph.edges[path[i - 1], path[i]]["delay"]
+            if node in tree_nodes:
+                break
+        return delay
+
+    def _rebuild(self, state: GroupState) -> None:
+        """Recompute the tree and (re)install forwarding entries."""
+        new_edges: Set[Edge] = set()
+        for member in state.members:
+            path = self.network.shortest_path(state.source, member)
+            for u, v in zip(path, path[1:]):
+                new_edges.add((u, v))
+        if new_edges == state.edges and state.history:
+            return
+        # Clear old entries on nodes that had them, then install fresh ones.
+        old_nodes = {u for u, _ in state.edges}
+        state.edges = new_edges
+        children: Dict[Any, Set[Any]] = {}
+        for u, v in new_edges:
+            children.setdefault(u, set()).add(v)
+        for name in old_nodes | set(children):
+            node = self.network.nodes[name]
+            out = children.get(name)
+            if out:
+                node.mcast_fwd[state.group] = out
+            else:
+                node.mcast_fwd.pop(state.group, None)
+        self._record_snapshot(state)
+
+    def _record_snapshot(self, state: GroupState) -> None:
+        state.history.append(
+            TreeSnapshot(
+                self.sched.now, frozenset(state.members), frozenset(state.edges)
+            )
+        )

@@ -1,0 +1,140 @@
+"""Point-to-point links with serialization delay, propagation delay and a
+bounded queue.
+
+A :class:`Link` is unidirectional; :meth:`repro.simnet.topology.Network.add_link`
+creates one in each direction.  The transmit path models store-and-forward:
+
+* if the transmitter is idle, a packet starts serializing immediately
+  (``size * 8 / bandwidth`` seconds);
+* otherwise it is offered to the queue, where drop-tail (or RED) applies;
+* after serialization the packet propagates for ``delay`` seconds and is
+  delivered to the destination node.
+
+This is the simulator's hot loop; it does no per-packet allocation beyond the
+two scheduler events.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from .packet import Packet
+from .queues import DropTailQueue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Scheduler
+    from .node import Node
+
+__all__ = ["Link", "LinkStats"]
+
+
+class LinkStats:
+    """Per-link cumulative counters (in addition to the queue's own stats)."""
+
+    __slots__ = ("tx_packets", "tx_bytes", "busy_time", "last_tx_end")
+
+    def __init__(self) -> None:
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.busy_time = 0.0
+        self.last_tx_end = 0.0
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` seconds the transmitter was busy."""
+        return self.busy_time / elapsed if elapsed > 0 else 0.0
+
+
+class Link:
+    """Unidirectional link ``src -> dst``.
+
+    Parameters
+    ----------
+    sched:
+        The simulation scheduler.
+    src, dst:
+        Endpoint :class:`~repro.simnet.node.Node` objects.
+    bandwidth:
+        Capacity in bits per second.
+    delay:
+        One-way propagation delay in seconds (paper uses 200 ms everywhere).
+    queue:
+        Queue discipline instance; defaults to a 64-packet drop-tail queue.
+    """
+
+    __slots__ = ("sched", "src", "dst", "bandwidth", "delay", "queue", "busy", "stats", "up")
+
+    def __init__(
+        self,
+        sched: "Scheduler",
+        src: "Node",
+        dst: "Node",
+        bandwidth: float,
+        delay: float,
+        queue: Optional[DropTailQueue] = None,
+    ):
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self.sched = sched
+        self.src = src
+        self.dst = dst
+        self.bandwidth = float(bandwidth)
+        self.delay = float(delay)
+        self.queue = queue if queue is not None else DropTailQueue()
+        self.busy = False
+        self.stats = LinkStats()
+        self.up = True
+
+    # ------------------------------------------------------------------
+    def send(self, pkt: Packet) -> bool:
+        """Offer a packet for transmission.
+
+        Returns True if the packet was accepted (immediately transmitted or
+        queued) and False if it was dropped.  A downed link silently drops.
+        """
+        if not self.up:
+            self.queue.stats.dropped += 1
+            self.queue.stats.bytes_dropped += pkt.size
+            return False
+        if self.busy:
+            return self.queue.push(pkt)
+        self._start_transmit(pkt)
+        return True
+
+    def _start_transmit(self, pkt: Packet) -> None:
+        self.busy = True
+        tx_time = pkt.size * 8.0 / self.bandwidth
+        self.stats.busy_time += tx_time
+        self.sched.after(tx_time, self._tx_done, pkt)
+
+    def _tx_done(self, pkt: Packet) -> None:
+        stats = self.stats
+        stats.tx_packets += 1
+        stats.tx_bytes += pkt.size
+        stats.last_tx_end = self.sched.now
+        # Propagation: the receiver sees the packet ``delay`` seconds after
+        # the last bit leaves the transmitter.
+        self.sched.after(self.delay, self.dst.receive, pkt, self)
+        nxt = self.queue.pop()
+        if nxt is not None:
+            self._start_transmit(nxt)
+        else:
+            self.busy = False
+
+    # ------------------------------------------------------------------
+    def set_down(self) -> None:
+        """Take the link down: queued and future packets are dropped."""
+        self.up = False
+        while self.queue.pop() is not None:
+            pass
+
+    def set_up(self) -> None:
+        """Bring the link back up."""
+        self.up = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Link {self.src.name}->{self.dst.name} "
+            f"{self.bandwidth / 1e3:.0f}Kbps {self.delay * 1e3:.0f}ms>"
+        )

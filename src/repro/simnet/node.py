@@ -1,0 +1,145 @@
+"""Network nodes: forwarding, local application delivery.
+
+A :class:`Node` is a router and/or host.  It holds
+
+* outgoing :class:`~repro.simnet.link.Link` objects keyed by neighbor name,
+* a unicast next-hop table (filled in by
+  :meth:`repro.simnet.topology.Network.build_routes`),
+* a multicast forwarding table ``group -> set of downstream neighbor names``
+  (maintained by :class:`repro.multicast.manager.MulticastManager`), and
+* application handlers: per-port unicast handlers and per-group multicast
+  handlers.
+
+Routers in the paper's architecture do **no** congestion-control computation;
+accordingly the node only forwards.  All intelligence lives in application
+objects attached to nodes (sources, receivers, the controller agent).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Set, TYPE_CHECKING
+
+from .packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Scheduler
+    from .link import Link
+
+__all__ = ["Node", "NodeStats"]
+
+Handler = Callable[[Packet], None]
+
+
+class NodeStats:
+    """Per-node forwarding counters."""
+
+    __slots__ = ("received", "forwarded", "delivered", "no_route")
+
+    def __init__(self) -> None:
+        self.received = 0
+        self.forwarded = 0
+        self.delivered = 0
+        self.no_route = 0
+
+
+class Node:
+    """A router/host in the simulated network."""
+
+    def __init__(self, sched: "Scheduler", name: Any):
+        self.sched = sched
+        self.name = name
+        self.links: Dict[Any, "Link"] = {}  # neighbor name -> outgoing link
+        self.next_hop: Dict[Any, Any] = {}  # unicast dst -> neighbor name
+        self.mcast_fwd: Dict[int, Set[Any]] = {}  # group -> downstream neighbors
+        self.group_handlers: Dict[int, List[Handler]] = {}
+        self.port_handlers: Dict[str, Handler] = {}
+        self.stats = NodeStats()
+
+    # ------------------------------------------------------------------
+    # Application attachment
+    # ------------------------------------------------------------------
+    def bind_port(self, port: str, handler: Handler) -> None:
+        """Register ``handler`` for unicast packets addressed to ``port``."""
+        if port in self.port_handlers:
+            raise ValueError(f"port {port!r} already bound on node {self.name!r}")
+        self.port_handlers[port] = handler
+
+    def unbind_port(self, port: str) -> None:
+        """Remove a port binding (no-op if absent)."""
+        self.port_handlers.pop(port, None)
+
+    def add_group_handler(self, group: int, handler: Handler) -> None:
+        """Deliver local copies of packets for ``group`` to ``handler``."""
+        self.group_handlers.setdefault(group, []).append(handler)
+
+    def remove_group_handler(self, group: int, handler: Handler) -> None:
+        """Stop delivering ``group`` packets to ``handler``."""
+        handlers = self.group_handlers.get(group)
+        if handlers and handler in handlers:
+            handlers.remove(handler)
+            if not handlers:
+                del self.group_handlers[group]
+
+    # ------------------------------------------------------------------
+    # Forwarding
+    # ------------------------------------------------------------------
+    def receive(self, pkt: Packet, from_link: Optional["Link"] = None) -> None:
+        """Handle a packet arriving from ``from_link`` (None = locally sent)."""
+        self.stats.received += 1
+        pkt.hops += 1
+        if pkt.group is not None:
+            self._handle_multicast(pkt, from_link)
+        else:
+            self._handle_unicast(pkt)
+
+    def send(self, pkt: Packet) -> None:
+        """Originate a packet from an application on this node."""
+        pkt.hops = 0
+        if pkt.group is not None:
+            self._handle_multicast(pkt, None)
+        else:
+            self._handle_unicast(pkt)
+
+    def _handle_multicast(self, pkt: Packet, from_link: Optional["Link"]) -> None:
+        group = pkt.group
+        handlers = self.group_handlers.get(group)
+        if handlers:
+            self.stats.delivered += 1
+            # Copy the list: a handler may unsubscribe during delivery.
+            for handler in list(handlers):
+                handler(pkt)
+        out = self.mcast_fwd.get(group)
+        if not out:
+            return
+        incoming = from_link.src.name if from_link is not None else None
+        links = self.links
+        for neighbor in out:
+            if neighbor == incoming:
+                continue
+            link = links.get(neighbor)
+            if link is not None:
+                self.stats.forwarded += 1
+                link.send(pkt)
+
+    def _handle_unicast(self, pkt: Packet) -> None:
+        if pkt.dst == self.name:
+            handler = self.port_handlers.get(pkt.port)
+            if handler is not None:
+                self.stats.delivered += 1
+                handler(pkt)
+            else:
+                self.stats.no_route += 1
+            return
+        hop = self.next_hop.get(pkt.dst)
+        if hop is None:
+            self.stats.no_route += 1
+            return
+        link = self.links.get(hop)
+        if link is None:
+            self.stats.no_route += 1
+            return
+        self.stats.forwarded += 1
+        link.send(pkt)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.name!r} degree={len(self.links)}>"

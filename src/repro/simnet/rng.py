@@ -1,0 +1,55 @@
+"""Seeded random-number management.
+
+Every stochastic component in the simulator (VBR traffic draws, TopoSense
+backoff intervals, report jitter, ...) receives its own independent
+``numpy.random.Generator`` forked from a single experiment seed.  Forking by
+*name* rather than by creation order means adding a new random component does
+not perturb the draws seen by existing ones, which keeps regression baselines
+stable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["RngRegistry"]
+
+
+class RngRegistry:
+    """Registry of named, independently seeded random generators.
+
+    Example
+    -------
+    >>> reg = RngRegistry(seed=42)
+    >>> a = reg.fork("vbr/source0")
+    >>> b = reg.fork("backoff")
+    >>> a is reg.fork("vbr/source0")
+    True
+    """
+
+    def __init__(self, seed: Optional[int] = None):
+        self.seed = 0 if seed is None else int(seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    def fork(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it deterministically.
+
+        The stream seed is derived from ``(experiment seed, name)`` via
+        BLAKE2, so distinct names give statistically independent streams and
+        the same name always yields the same stream for a given seed.
+        """
+        gen = self._streams.get(name)
+        if gen is None:
+            digest = hashlib.blake2b(
+                f"{self.seed}:{name}".encode(), digest_size=8
+            ).digest()
+            gen = np.random.default_rng(int.from_bytes(digest, "little"))
+            self._streams[name] = gen
+        return gen
+
+    def names(self):
+        """Names of all streams created so far (sorted)."""
+        return sorted(self._streams)

@@ -1,0 +1,153 @@
+"""Network construction and unicast routing.
+
+:class:`Network` owns the node and link objects and computes static
+shortest-path unicast routes (Dijkstra, weighted by propagation delay).  The
+paper's topologies are small trees, but the implementation is general graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+import networkx as nx
+
+from .engine import Scheduler
+from .link import Link
+from .node import Node
+from .queues import DropTailQueue
+
+__all__ = ["Network"]
+
+
+class Network:
+    """A set of nodes and links plus routing state.
+
+    Example
+    -------
+    >>> from repro.simnet.engine import Scheduler
+    >>> net = Network(Scheduler())
+    >>> _ = net.add_node("a"); _ = net.add_node("b")
+    >>> _ = net.add_link("a", "b", bandwidth=1e6, delay=0.2)
+    >>> net.build_routes()
+    >>> net.node("a").next_hop["b"]
+    'b'
+    """
+
+    def __init__(self, sched: Scheduler):
+        self.sched = sched
+        self.nodes: Dict[Any, Node] = {}
+        self.links: Dict[Tuple[Any, Any], Link] = {}
+        self.graph = nx.DiGraph()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, name: Any) -> Node:
+        """Create a node named ``name`` (must be unique)."""
+        if name in self.nodes:
+            raise ValueError(f"duplicate node name {name!r}")
+        node = Node(self.sched, name)
+        self.nodes[name] = node
+        self.graph.add_node(name)
+        return node
+
+    def add_link(
+        self,
+        a: Any,
+        b: Any,
+        bandwidth: float,
+        delay: float = 0.2,
+        queue_limit: int = 64,
+        bidirectional: bool = True,
+        queue_factory=None,
+    ) -> Link:
+        """Create a link ``a -> b`` (and ``b -> a`` when ``bidirectional``).
+
+        ``queue_factory`` is an optional zero-argument callable producing a
+        queue discipline instance per direction; the default is a drop-tail
+        queue of ``queue_limit`` packets.
+
+        Returns the ``a -> b`` direction's :class:`Link`.
+        """
+        if a not in self.nodes or b not in self.nodes:
+            raise KeyError(f"both endpoints must exist: {a!r}, {b!r}")
+        if (a, b) in self.links:
+            raise ValueError(f"duplicate link {a!r}->{b!r}")
+
+        def make_queue():
+            if queue_factory is not None:
+                return queue_factory()
+            return DropTailQueue(queue_limit)
+
+        fwd = Link(self.sched, self.nodes[a], self.nodes[b], bandwidth, delay, make_queue())
+        self.links[(a, b)] = fwd
+        self.nodes[a].links[b] = fwd
+        self.graph.add_edge(a, b, delay=delay, bandwidth=bandwidth)
+        if bidirectional:
+            rev = Link(self.sched, self.nodes[b], self.nodes[a], bandwidth, delay, make_queue())
+            self.links[(b, a)] = rev
+            self.nodes[b].links[a] = rev
+            self.graph.add_edge(b, a, delay=delay, bandwidth=bandwidth)
+        return fwd
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def node(self, name: Any) -> Node:
+        """Return the node named ``name`` (KeyError if unknown)."""
+        return self.nodes[name]
+
+    def link(self, a: Any, b: Any) -> Link:
+        """Return the directed link ``a -> b`` (KeyError if unknown)."""
+        return self.links[(a, b)]
+
+    def neighbors(self, name: Any) -> Iterable[Any]:
+        """Names of nodes directly reachable from ``name``."""
+        return self.graph.successors(name)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def build_routes(self) -> None:
+        """(Re)compute all-pairs shortest-path next hops, weighted by delay.
+
+        Must be called after topology construction and before traffic starts;
+        ties are broken deterministically by neighbor sort order.
+        """
+        for src_name, node in self.nodes.items():
+            node.next_hop.clear()
+            # Dijkstra from src to everywhere; paths[dst] is the node list.
+            paths = nx.single_source_dijkstra_path(self.graph, src_name, weight="delay")
+            for dst_name, path in paths.items():
+                if dst_name == src_name or len(path) < 2:
+                    continue
+                node.next_hop[dst_name] = path[1]
+
+    def shortest_path(self, a: Any, b: Any) -> list:
+        """Delay-weighted shortest path from ``a`` to ``b`` as a node list."""
+        return nx.dijkstra_path(self.graph, a, b, weight="delay")
+
+    def path_delay(self, a: Any, b: Any) -> float:
+        """Sum of propagation delays along the shortest path ``a -> b``."""
+        return nx.dijkstra_path_length(self.graph, a, b, weight="delay")
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def total_drops(self) -> int:
+        """Total packets dropped at all queues in the network."""
+        return sum(l.queue.stats.dropped for l in self.links.values())
+
+    def describe(self) -> str:
+        """Human-readable one-line-per-link summary (for examples/CLI)."""
+        lines = [f"{len(self.nodes)} nodes, {len(self.links)} directed links"]
+        seen = set()
+        for (a, b), link in sorted(self.links.items(), key=lambda kv: str(kv[0])):
+            if (b, a) in seen:
+                continue
+            seen.add((a, b))
+            lines.append(
+                f"  {a} <-> {b}: {link.bandwidth / 1e3:g} Kb/s, "
+                f"{link.delay * 1e3:g} ms, q={link.queue.capacity}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""Trace recording utilities.
+
+Experiments record *traces*: time-stamped level changes (subscription
+levels), scalar time series (loss rates, throughput) and event counters.
+:class:`StepTrace` is the workhorse — it stores a piecewise-constant signal
+and supports the time-weighted statistics that the paper's metrics
+(relative deviation, mean time between changes) need.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["StepTrace", "SeriesTrace"]
+
+
+class StepTrace:
+    """A piecewise-constant signal, e.g. a receiver's subscription level.
+
+    Values hold from their timestamp until the next recorded point.  Recording
+    the same value twice in a row is a no-op (the trace stores only *changes*),
+    so ``len(trace) - 1`` is the number of changes after the initial value.
+    """
+
+    def __init__(self, t0: float = 0.0, v0: float = 0.0):
+        self.times: List[float] = [t0]
+        self.values: List[float] = [v0]
+
+    def record(self, t: float, value: float) -> None:
+        """Record that the signal takes ``value`` from time ``t`` onward."""
+        if t < self.times[-1]:
+            raise ValueError(f"trace times must be non-decreasing ({t} < {self.times[-1]})")
+        if value == self.values[-1]:
+            return
+        if t == self.times[-1]:
+            # Same-instant overwrite: replace rather than duplicate.
+            self.values[-1] = value
+            if len(self.values) >= 2 and self.values[-2] == value:
+                self.times.pop()
+                self.values.pop()
+            return
+        self.times.append(t)
+        self.values.append(value)
+
+    # ------------------------------------------------------------------
+    def value_at(self, t: float) -> float:
+        """Signal value at time ``t`` (the value most recently recorded)."""
+        i = bisect_right(self.times, t) - 1
+        if i < 0:
+            raise ValueError(f"t={t} precedes trace start {self.times[0]}")
+        return self.values[i]
+
+    def change_times(self, t0: float = 0.0, t1: float = float("inf")) -> List[float]:
+        """Times of value changes within ``(t0, t1]`` (initial point excluded)."""
+        return [t for t in self.times[1:] if t0 < t <= t1]
+
+    def num_changes(self, t0: float = 0.0, t1: float = float("inf")) -> int:
+        """Number of value changes within ``(t0, t1]``."""
+        return len(self.change_times(t0, t1))
+
+    def mean_time_between_changes(
+        self, t0: float = 0.0, t1: Optional[float] = None
+    ) -> float:
+        """Mean gap between successive changes in ``[t0, t1]``.
+
+        With fewer than two changes the whole window length is returned
+        (the signal is "stable for the entire window"), matching how the
+        paper plots Topology A/B stability.
+        """
+        if t1 is None:
+            t1 = self.times[-1]
+        changes = self.change_times(t0, t1)
+        if len(changes) < 2:
+            return t1 - t0
+        diffs = np.diff(changes)
+        return float(diffs.mean())
+
+    def time_weighted_mean(self, t0: float, t1: float) -> float:
+        """Average of the signal over ``[t0, t1]``, weighted by holding time."""
+        if t1 <= t0:
+            raise ValueError("need t1 > t0")
+        total = 0.0
+        for seg_t0, seg_t1, v in self.segments(t0, t1):
+            total += v * (seg_t1 - seg_t0)
+        return total / (t1 - t0)
+
+    def segments(self, t0: float, t1: float):
+        """Yield ``(start, end, value)`` pieces covering ``[t0, t1]``."""
+        times, values = self.times, self.values
+        i = max(bisect_right(times, t0) - 1, 0)
+        while i < len(times):
+            seg_start = max(times[i], t0)
+            seg_end = times[i + 1] if i + 1 < len(times) else t1
+            seg_end = min(seg_end, t1)
+            if seg_end > seg_start:
+                yield seg_start, seg_end, values[i]
+            if seg_end >= t1:
+                break
+            i += 1
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<StepTrace {len(self.times)} points, last={self.values[-1]} @ {self.times[-1]:.1f}s>"
+
+
+class SeriesTrace:
+    """An append-only ``(time, value)`` sample series (e.g. loss rates)."""
+
+    def __init__(self) -> None:
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def record(self, t: float, value: float) -> None:
+        """Append a sample (times must be non-decreasing)."""
+        if self.times and t < self.times[-1]:
+            raise ValueError("series times must be non-decreasing")
+        self.times.append(t)
+        self.values.append(value)
+
+    def window(self, t0: float, t1: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Samples with ``t0 <= t <= t1`` as a pair of numpy arrays."""
+        t = np.asarray(self.times)
+        v = np.asarray(self.values)
+        mask = (t >= t0) & (t <= t1)
+        return t[mask], v[mask]
+
+    def mean(self, t0: float = 0.0, t1: float = float("inf")) -> float:
+        """Unweighted mean of samples in the window (nan if empty)."""
+        _, v = self.window(t0, t1)
+        return float(v.mean()) if v.size else float("nan")
+
+    def __len__(self) -> int:
+        return len(self.times)

@@ -1,0 +1,72 @@
+"""Tests for the billing/usage ledger (paper §II's billing remark)."""
+
+import pytest
+
+from repro.control.accounting import BillingLedger, UsageRecord
+from repro.control.messages import Report
+from repro.experiments.scenario import Scenario
+
+
+def report(rid="R", sid=0, loss=0.0, bytes_=100_000.0, level=3, t0=0.0, t1=2.0):
+    return Report(
+        receiver_id=rid, session_id=sid, loss_rate=loss,
+        bytes=bytes_, level=level, t0=t0, t1=t1,
+    )
+
+
+class TestLedger:
+    def test_accumulates_bytes_and_layer_seconds(self):
+        ledger = BillingLedger()
+        ledger.record(report(bytes_=1e6, level=4, t0=0.0, t1=2.0))
+        ledger.record(report(bytes_=2e6, level=2, t0=2.0, t1=4.0))
+        rec = ledger.usage(0, "R")
+        assert rec.bytes_delivered == pytest.approx(3e6)
+        assert rec.layer_seconds == pytest.approx(4 * 2 + 2 * 2)
+        assert rec.intervals == 2
+        assert rec.megabytes == pytest.approx(3.0)
+        assert rec.mean_level == pytest.approx(12 / 4)
+
+    def test_charge_combines_volume_and_quality(self):
+        ledger = BillingLedger(price_per_mb=1.0, price_per_layer_hour=3600.0)
+        ledger.record(report(bytes_=5e6, level=2, t0=0.0, t1=10.0))
+        # 5 MB * 1.0 + 20 layer-seconds = 20/3600 h * 3600 = 20.
+        assert ledger.charge(0, "R") == pytest.approx(5.0 + 20.0)
+
+    def test_invoice_and_revenue(self):
+        ledger = BillingLedger(price_per_mb=1.0, price_per_layer_hour=0.0)
+        ledger.record(report(rid="A", bytes_=1e6))
+        ledger.record(report(rid="B", bytes_=2e6))
+        inv = ledger.invoice()
+        assert inv[(0, "A")] == pytest.approx(1.0)
+        assert inv[(0, "B")] == pytest.approx(2.0)
+        assert ledger.total_revenue() == pytest.approx(3.0)
+
+    def test_unknown_receiver_raises(self):
+        with pytest.raises(KeyError):
+            BillingLedger().usage(0, "ghost")
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(ValueError):
+            BillingLedger(price_per_mb=-1)
+
+    def test_mean_level_empty_span(self):
+        rec = UsageRecord(0, "R")
+        assert rec.mean_level == 0.0
+
+
+class TestLedgerOnController:
+    def test_controller_feeds_ledger(self):
+        sc = Scenario(seed=1)
+        sc.add_node("s")
+        sc.add_node("r")
+        sc.add_link("s", "r", bandwidth=10e6, delay=0.05)
+        sess = sc.add_session("s", traffic="cbr")
+        controller = sc.attach_controller("s")
+        ledger = BillingLedger()
+        controller.attach_ledger(ledger)
+        sc.add_receiver(sess.session_id, "r", receiver_id="cust1")
+        sc.run(30.0)
+        rec = ledger.usage(sess.session_id, "cust1")
+        assert rec.bytes_delivered > 0
+        assert rec.layer_seconds > 0
+        assert ledger.total_revenue() > 0

@@ -1,0 +1,95 @@
+"""Unit tests for the terminal plot helpers."""
+
+import pytest
+
+from repro.metrics.ascii_plot import (
+    render_histogram,
+    render_level_timeline,
+    render_series,
+)
+from repro.simnet.tracing import SeriesTrace, StepTrace
+
+
+class TestLevelTimeline:
+    def test_constant_trace(self):
+        tr = StepTrace(0.0, 4)
+        assert render_level_timeline(tr, 0.0, 10.0, width=10) == "4444444444"
+
+    def test_step_change(self):
+        tr = StepTrace(0.0, 1)
+        tr.record(5.0, 4)
+        assert render_level_timeline(tr, 0.0, 10.0, width=10) == "1111144444"
+
+    def test_label_prefix(self):
+        tr = StepTrace(0.0, 2)
+        out = render_level_timeline(tr, 0.0, 4.0, width=4, label="rx0 ")
+        assert out == "rx0 2222"
+
+    def test_levels_above_nine_rendered_as_hash(self):
+        tr = StepTrace(0.0, 12)
+        assert render_level_timeline(tr, 0.0, 2.0, width=2) == "##"
+
+    def test_validation(self):
+        tr = StepTrace(0.0, 1)
+        with pytest.raises(ValueError):
+            render_level_timeline(tr, 5.0, 5.0)
+        with pytest.raises(ValueError):
+            render_level_timeline(tr, 0.0, 5.0, width=0)
+
+
+class TestSeries:
+    def test_bar_heights_scale(self):
+        s = SeriesTrace()
+        for t in range(10):
+            s.record(float(t), 0.0 if t < 5 else 1.0)
+        out = render_series(s, 0.0, 10.0, width=10, height=4)
+        rows = out.splitlines()
+        assert len(rows) == 4
+        # Right half (high values) filled on every row; left half empty on top.
+        assert rows[0][:5].strip() == ""
+        assert rows[0][5:].count("|") == 5
+
+    def test_empty_buckets_render_blank(self):
+        s = SeriesTrace()
+        s.record(9.5, 1.0)
+        out = render_series(s, 0.0, 10.0, width=10, height=2)
+        assert "|" in out.splitlines()[-1]
+
+    def test_label_and_max(self):
+        s = SeriesTrace()
+        s.record(0.0, 0.5)
+        out = render_series(s, 0.0, 1.0, width=2, height=2, max_value=1.0, label="loss")
+        assert out.startswith("loss (max 1.00)")
+
+    def test_validation(self):
+        s = SeriesTrace()
+        with pytest.raises(ValueError):
+            render_series(s, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            render_series(s, 0.0, 1.0, height=0)
+
+
+class TestHistogram:
+    def test_counts_in_bins(self):
+        out = render_histogram([0.1, 0.2, 0.8], bins=[0.0, 0.5, 1.0], width=4)
+        lines = out.splitlines()
+        assert lines[0].endswith("2")
+        assert lines[1].endswith("1")
+
+    def test_top_edge_included(self):
+        out = render_histogram([1.0], bins=[0.0, 0.5, 1.0])
+        assert out.splitlines()[1].endswith("1")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_histogram([1.0], bins=[0.0])
+
+
+def test_cli_fig9_plot(capsys):
+    from repro.cli import main
+
+    assert main(["fig9", "--duration", "40", "--plot"]) == 0
+    out = capsys.readouterr().out
+    assert "subscription level per session" in out
+    # Timeline rows contain digit runs.
+    assert any(c.isdigit() for c in out.splitlines()[-1])

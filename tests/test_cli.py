@@ -1,0 +1,101 @@
+"""Smoke tests for the CLI and the per-figure experiment drivers."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import figures
+
+
+class TestFigureDrivers:
+    def test_fig6_rows(self):
+        rows = figures.fig6_stability_topology_a(
+            receiver_counts=(2,), traffic_models=(("cbr", 0.0),), duration=40.0
+        )
+        assert len(rows) == 1
+        assert rows[0]["figure"] == "6"
+        assert rows[0]["traffic"] == "CBR"
+        assert rows[0]["max_changes"] >= 0
+        assert rows[0]["mean_gap_s"] > 0
+
+    def test_fig7_rows(self):
+        rows = figures.fig7_stability_topology_b(
+            session_counts=(2,), traffic_models=(("vbr", 3.0),), duration=40.0
+        )
+        assert len(rows) == 1
+        assert rows[0]["traffic"] == "VBR(P=3)"
+
+    def test_fig8_rows(self):
+        rows = figures.fig8_fairness(
+            session_counts=(2,), traffic_models=(("cbr", 0.0),), duration=60.0
+        )
+        assert len(rows) == 1
+        assert 0 <= rows[0]["deviation_first_half"]
+        assert 0 <= rows[0]["deviation_second_half"]
+
+    def test_fig9_structure(self):
+        data = figures.fig9_timeseries(n_sessions=2, duration=60.0)
+        assert data["n_sessions"] == 2
+        assert len(data["sessions"]) == 2
+        for s in data["sessions"].values():
+            assert "subscription" in s and "loss" in s
+            assert s["mean_level"] > 0
+
+    def test_fig10_rows(self):
+        rows = figures.fig10_staleness(
+            staleness_values=(0.0, 4.0), receiver_counts=(2,), duration=60.0
+        )
+        assert len(rows) == 2
+        assert {r["staleness_s"] for r in rows} == {0.0, 4.0}
+
+    def test_table1_complete(self):
+        rows = figures.table1_rows()
+        assert len(rows) == 48
+
+    def test_default_duration_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        monkeypatch.delenv("REPRO_DURATION", raising=False)
+        assert figures.default_duration(123.0) == 123.0
+        monkeypatch.setenv("REPRO_DURATION", "77")
+        assert figures.default_duration() == 77.0
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert figures.default_duration() == 1200.0
+
+
+class TestCli:
+    def test_table1_plain(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "add_layer" in out
+        assert "reduce_half_old" in out
+
+    def test_table1_json(self, capsys):
+        assert main(["table1", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 48
+
+    def test_demo_topology_a(self, capsys):
+        assert main(["demo", "--topology", "a", "--receivers", "2",
+                     "--duration", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "mean relative deviation" in out
+
+    def test_demo_topology_b(self, capsys):
+        assert main(["demo", "--topology", "b", "--receivers", "2",
+                     "--duration", "30"]) == 0
+        assert "session" in capsys.readouterr().out
+
+    def test_fig9_summary_output(self, capsys):
+        assert main(["fig9", "--duration", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "mean level" in out
+
+    def test_fig10_json(self, capsys):
+        assert main(["fig10", "--duration", "30", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert all("staleness_s" in r for r in rows)
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])

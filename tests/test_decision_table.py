@@ -1,0 +1,135 @@
+"""Exhaustive unit tests for Table I (the demand decision table)."""
+
+import pytest
+
+from repro.core.decision_table import (
+    Action,
+    BwEquality,
+    classify_bandwidth,
+    encode_history,
+    internal_action,
+    leaf_action,
+)
+
+L, E, G = BwEquality.LESSER, BwEquality.EQUAL, BwEquality.GREATER
+
+
+class TestEncodeHistory:
+    def test_bit_positions(self):
+        # T0 -> bit 2, T1 -> bit 1, T2 (current) -> bit 0.
+        assert encode_history(False, False, False) == 0
+        assert encode_history(False, False, True) == 1
+        assert encode_history(False, True, False) == 2
+        assert encode_history(False, True, True) == 3
+        assert encode_history(True, False, False) == 4
+        assert encode_history(True, False, True) == 5
+        assert encode_history(True, True, False) == 6
+        assert encode_history(True, True, True) == 7
+
+
+class TestClassifyBandwidth:
+    def test_lesser_means_throughput_rising(self):
+        assert classify_bandwidth(100.0, 200.0, 0.05) is L
+
+    def test_greater_means_throughput_falling(self):
+        assert classify_bandwidth(200.0, 100.0, 0.05) is G
+
+    def test_equal_within_tolerance(self):
+        assert classify_bandwidth(100.0, 104.0, 0.05) is E
+        assert classify_bandwidth(104.0, 100.0, 0.05) is E
+
+    def test_just_outside_tolerance(self):
+        assert classify_bandwidth(100.0, 106.0, 0.05) is L
+
+    def test_both_zero_is_equal(self):
+        assert classify_bandwidth(0.0, 0.0, 0.05) is E
+
+    def test_zero_to_positive_is_lesser(self):
+        assert classify_bandwidth(0.0, 50.0, 0.05) is L
+
+
+class TestLeafTable:
+    """Each paper Table I leaf row, verbatim."""
+
+    # -- Lesser column ---------------------------------------------------
+    def test_lesser_0_add(self):
+        assert leaf_action(0, L) is Action.ADD_LAYER
+
+    def test_lesser_1_drop_if_high_loss(self):
+        assert leaf_action(1, L) is Action.DROP_IF_HIGH_LOSS
+
+    @pytest.mark.parametrize("h", [2, 4, 5, 6])
+    def test_lesser_2456_maintain(self, h):
+        assert leaf_action(h, L) is Action.MAINTAIN
+
+    def test_lesser_3_reduce_to_supply(self):
+        assert leaf_action(3, L) is Action.REDUCE_TO_SUPPLY_OLD
+
+    def test_lesser_7_reduce_half_backoff(self):
+        assert leaf_action(7, L) is Action.REDUCE_HALF_OLD
+
+    # -- Equal column ------------------------------------------------------
+    @pytest.mark.parametrize("h", [0, 4])
+    def test_equal_04_add(self, h):
+        assert leaf_action(h, E) is Action.ADD_LAYER
+
+    @pytest.mark.parametrize("h", [1, 2, 5, 6])
+    def test_equal_1256_maintain(self, h):
+        assert leaf_action(h, E) is Action.MAINTAIN
+
+    @pytest.mark.parametrize("h", [3, 7])
+    def test_equal_37_reduce_half_backoff(self, h):
+        assert leaf_action(h, E) is Action.REDUCE_HALF_OLD
+
+    # -- Greater column ------------------------------------------------------
+    def test_greater_0_add(self):
+        assert leaf_action(0, G) is Action.ADD_LAYER
+
+    @pytest.mark.parametrize("h", [1, 2, 4, 5, 6])
+    def test_greater_12456_maintain(self, h):
+        assert leaf_action(h, G) is Action.MAINTAIN
+
+    @pytest.mark.parametrize("h", [3, 7])
+    def test_greater_37_reduce_if_very_high(self, h):
+        assert leaf_action(h, G) is Action.REDUCE_HALF_IF_VERY_HIGH
+
+    def test_table_is_total(self):
+        for h in range(8):
+            for eq in (L, E, G):
+                assert isinstance(leaf_action(h, eq), Action)
+
+    @pytest.mark.parametrize("h", [-1, 8])
+    def test_invalid_history(self, h):
+        with pytest.raises(ValueError):
+            leaf_action(h, L)
+
+
+class TestInternalTable:
+    @pytest.mark.parametrize("h", [0, 4])
+    @pytest.mark.parametrize("eq", [L, E, G])
+    def test_04_accept_all_cases(self, h, eq):
+        assert internal_action(h, eq) is Action.ACCEPT_CHILDREN
+
+    @pytest.mark.parametrize("h", [1, 5, 7])
+    def test_157_greater_reduce_half_recent(self, h):
+        assert internal_action(h, G) is Action.REDUCE_HALF_RECENT
+
+    @pytest.mark.parametrize("h", [1, 5, 7])
+    @pytest.mark.parametrize("eq", [L, E])
+    def test_157_equal_lesser_reduce_half_old(self, h, eq):
+        assert internal_action(h, eq) is Action.REDUCE_HALF_OLD
+
+    @pytest.mark.parametrize("h", [2, 3, 6])
+    @pytest.mark.parametrize("eq", [L, E, G])
+    def test_236_maintain_all_cases(self, h, eq):
+        assert internal_action(h, eq) is Action.MAINTAIN
+
+    def test_table_is_total(self):
+        for h in range(8):
+            for eq in (L, E, G):
+                assert isinstance(internal_action(h, eq), Action)
+
+    @pytest.mark.parametrize("h", [-2, 9])
+    def test_invalid_history(self, h):
+        with pytest.raises(ValueError):
+            internal_action(h, E)

@@ -1,0 +1,223 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.simnet.engine import Scheduler, SimulationError
+
+
+def test_initial_state():
+    s = Scheduler()
+    assert s.now == 0.0
+    assert s.pending == 0
+    assert s.peek_time() is None
+
+
+def test_events_fire_in_time_order():
+    s = Scheduler()
+    hits = []
+    s.after(2.0, hits.append, "c")
+    s.after(1.0, hits.append, "b")
+    s.after(0.5, hits.append, "a")
+    s.run(until=3.0)
+    assert hits == ["a", "b", "c"]
+
+
+def test_ties_broken_by_schedule_order():
+    s = Scheduler()
+    hits = []
+    for tag in "abcde":
+        s.at(1.0, hits.append, tag)
+    s.run(until=1.0)
+    assert hits == list("abcde")
+
+
+def test_run_advances_now_to_until():
+    s = Scheduler()
+    s.after(0.25, lambda: None)
+    s.run(until=10.0)
+    assert s.now == 10.0
+
+
+def test_events_beyond_until_not_fired():
+    s = Scheduler()
+    hits = []
+    s.at(5.0, hits.append, "late")
+    s.run(until=4.999)
+    assert hits == []
+    s.run(until=5.0)
+    assert hits == ["late"]
+
+
+def test_event_exactly_at_until_fires():
+    s = Scheduler()
+    hits = []
+    s.at(2.0, hits.append, "x")
+    s.run(until=2.0)
+    assert hits == ["x"]
+
+
+def test_cannot_schedule_in_past():
+    s = Scheduler()
+    s.after(1.0, lambda: None)
+    s.run(until=5.0)
+    with pytest.raises(SimulationError):
+        s.at(4.0, lambda: None)
+
+
+def test_cannot_run_backwards():
+    s = Scheduler()
+    s.run(until=5.0)
+    with pytest.raises(SimulationError):
+        s.run(until=1.0)
+
+
+def test_negative_delay_rejected():
+    s = Scheduler()
+    with pytest.raises(SimulationError):
+        s.after(-0.1, lambda: None)
+
+
+def test_non_finite_time_rejected():
+    s = Scheduler()
+    with pytest.raises(SimulationError):
+        s.at(float("inf"), lambda: None)
+    with pytest.raises(SimulationError):
+        s.at(float("nan"), lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    s = Scheduler()
+    hits = []
+    ev = s.after(1.0, hits.append, "x")
+    ev.cancel()
+    s.run(until=2.0)
+    assert hits == []
+    assert s.events_processed == 0
+
+
+def test_cancel_is_idempotent():
+    s = Scheduler()
+    ev = s.after(1.0, lambda: None)
+    ev.cancel()
+    ev.cancel()
+    s.run(until=2.0)
+
+
+def test_events_scheduled_during_run_fire():
+    s = Scheduler()
+    hits = []
+
+    def chain(n):
+        hits.append(n)
+        if n < 3:
+            s.after(0.1, chain, n + 1)
+
+    s.after(0.0, chain, 0)
+    s.run(until=1.0)
+    assert hits == [0, 1, 2, 3]
+
+
+def test_now_is_event_time_during_callback():
+    s = Scheduler()
+    seen = []
+    s.at(1.25, lambda: seen.append(s.now))
+    s.run(until=2.0)
+    assert seen == [1.25]
+
+
+def test_step_executes_single_event():
+    s = Scheduler()
+    hits = []
+    s.after(1.0, hits.append, "a")
+    s.after(2.0, hits.append, "b")
+    assert s.step() is True
+    assert hits == ["a"]
+    assert s.now == 1.0
+    assert s.step() is True
+    assert s.step() is False
+
+
+def test_stop_aborts_run():
+    s = Scheduler()
+    hits = []
+    s.after(1.0, hits.append, "a")
+    s.after(1.5, s.stop)
+    s.after(2.0, hits.append, "b")
+    s.run(until=10.0)
+    assert hits == ["a"]
+    assert s.now == 1.5
+    # resume: remaining event still pending
+    s.run(until=10.0)
+    assert hits == ["a", "b"]
+
+
+def test_every_repeats_until_stopiteration():
+    s = Scheduler()
+    hits = []
+
+    def tick():
+        hits.append(s.now)
+        if len(hits) >= 3:
+            raise StopIteration
+
+    s.every(1.0, tick)
+    s.run(until=10.0)
+    assert hits == [1.0, 2.0, 3.0]
+
+
+def test_every_stops_on_truthy_return():
+    s = Scheduler()
+    hits = []
+
+    def tick():
+        hits.append(s.now)
+        return len(hits) >= 2
+
+    s.every(0.5, tick)
+    s.run(until=10.0)
+    assert hits == [0.5, 1.0]
+
+
+def test_every_with_explicit_start():
+    s = Scheduler()
+    hits = []
+
+    def tick():
+        hits.append(s.now)
+        if len(hits) >= 2:
+            raise StopIteration
+
+    s.every(1.0, tick, start=0.25)
+    s.run(until=5.0)
+    assert hits == [0.25, 1.25]
+
+
+def test_every_rejects_nonpositive_interval():
+    s = Scheduler()
+    with pytest.raises(SimulationError):
+        s.every(0.0, lambda: None)
+
+
+def test_every_first_event_cancellable():
+    s = Scheduler()
+    hits = []
+    ev = s.every(1.0, hits.append, "x")
+    ev.cancel()
+    s.run(until=5.0)
+    assert hits == []
+
+
+def test_events_processed_counter():
+    s = Scheduler()
+    for _ in range(5):
+        s.after(1.0, lambda: None)
+    s.run(until=2.0)
+    assert s.events_processed == 5
+
+
+def test_peek_time_skips_cancelled():
+    s = Scheduler()
+    ev = s.after(1.0, lambda: None)
+    s.after(2.0, lambda: None)
+    ev.cancel()
+    assert s.peek_time() == 2.0

@@ -1,0 +1,76 @@
+"""Unit tests for the layer schedule."""
+
+import pytest
+
+from repro.media.layers import PAPER_SCHEDULE, LayerSchedule
+
+
+def test_paper_schedule_rates():
+    # 32, 64, 128, 256, 512, 1024 Kb/s
+    assert PAPER_SCHEDULE.n_layers == 6
+    assert [PAPER_SCHEDULE.rate(i) for i in range(1, 7)] == [
+        32_000,
+        64_000,
+        128_000,
+        256_000,
+        512_000,
+        1_024_000,
+    ]
+
+
+def test_cumulative_rates():
+    assert PAPER_SCHEDULE.cumulative(0) == 0.0
+    assert PAPER_SCHEDULE.cumulative(1) == 32_000
+    assert PAPER_SCHEDULE.cumulative(4) == 480_000  # paper: 4 layers ~ 500 Kb/s
+    assert PAPER_SCHEDULE.cumulative(6) == 2_016_000
+
+
+def test_max_level_for_bandwidth():
+    s = PAPER_SCHEDULE
+    assert s.max_level_for(0) == 0
+    assert s.max_level_for(31_999) == 0
+    assert s.max_level_for(32_000) == 1
+    assert s.max_level_for(500_000) == 4  # the paper's Topology B optimum
+    assert s.max_level_for(10e6) == 6
+
+
+def test_layer_index_validation():
+    with pytest.raises(ValueError):
+        PAPER_SCHEDULE.rate(0)
+    with pytest.raises(ValueError):
+        PAPER_SCHEDULE.rate(7)
+    with pytest.raises(ValueError):
+        PAPER_SCHEDULE.cumulative(7)
+
+
+def test_custom_geometric_schedule():
+    s = LayerSchedule(n_layers=3, base_rate=10_000, growth=3.0)
+    assert s.rates == (10_000, 30_000, 90_000)
+
+
+def test_explicit_rates():
+    s = LayerSchedule(rates=[10_000, 20_000, 15_000])
+    assert s.n_layers == 3
+    assert s.cumulative(3) == 45_000
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        LayerSchedule(n_layers=0)
+    with pytest.raises(ValueError):
+        LayerSchedule(base_rate=0)
+    with pytest.raises(ValueError):
+        LayerSchedule(growth=-1)
+    with pytest.raises(ValueError):
+        LayerSchedule(rates=[])
+    with pytest.raises(ValueError):
+        LayerSchedule(rates=[1000, -5])
+
+
+def test_equality_and_hash():
+    a = LayerSchedule(n_layers=3, base_rate=1000)
+    b = LayerSchedule(rates=[1000, 2000, 4000])
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != LayerSchedule(n_layers=4, base_rate=1000)
+    assert a != "not a schedule"

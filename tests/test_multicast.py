@@ -1,0 +1,252 @@
+"""Unit tests for multicast membership, trees, graft/leave latency."""
+
+import pytest
+
+from repro.multicast.manager import MulticastManager
+from repro.simnet.engine import Scheduler
+from repro.simnet.packet import Packet
+from repro.simnet.topology import Network
+
+
+def star_network():
+    r"""src - core - {a, b, c} star, 100 ms links.
+
+           src
+            |
+          core
+          / | \
+         a  b  c
+    """
+    sched = Scheduler()
+    net = Network(sched)
+    for name in ["src", "core", "a", "b", "c"]:
+        net.add_node(name)
+    for leaf in ["a", "b", "c"]:
+        net.add_link("core", leaf, bandwidth=1e6, delay=0.1)
+    net.add_link("src", "core", bandwidth=1e6, delay=0.1)
+    net.build_routes()
+    return sched, net
+
+
+def test_create_group_allocates_addresses():
+    sched, net = star_network()
+    m = MulticastManager(net)
+    g1 = m.create_group("src")
+    g2 = m.create_group("src")
+    assert g1 != g2
+    assert m.source_of(g1) == "src"
+
+
+def test_create_group_unknown_source():
+    sched, net = star_network()
+    with pytest.raises(KeyError):
+        MulticastManager(net).create_group("ghost")
+
+
+def test_duplicate_explicit_group_rejected():
+    sched, net = star_network()
+    m = MulticastManager(net)
+    m.create_group("src", group=7)
+    with pytest.raises(ValueError):
+        m.create_group("src", group=7)
+
+
+def test_join_builds_tree_after_graft_delay():
+    sched, net = star_network()
+    m = MulticastManager(net, igmp_report_delay=0.0)
+    g = m.create_group("src")
+    eff = m.join(g, "a")
+    # graft travels a -> core -> src: 0.2 s
+    assert eff == pytest.approx(0.2)
+    assert m.members(g) == frozenset()
+    sched.run(until=eff + 0.001)
+    assert m.members(g) == frozenset({"a"})
+    assert m.tree_edges(g) == frozenset({("src", "core"), ("core", "a")})
+
+
+def test_second_join_grafts_at_nearest_on_tree_router():
+    sched, net = star_network()
+    m = MulticastManager(net, igmp_report_delay=0.0)
+    g = m.create_group("src")
+    m.join(g, "a")
+    sched.run(until=0.5)
+    eff = m.join(g, "b")
+    # core is already on the tree; graft only needs b -> core = 0.1 s
+    assert eff - sched.now == pytest.approx(0.1)
+    sched.run(until=eff + 0.001)
+    assert m.tree_edges(g) == frozenset(
+        {("src", "core"), ("core", "a"), ("core", "b")}
+    )
+
+
+def test_source_join_is_near_instant():
+    sched, net = star_network()
+    m = MulticastManager(net, igmp_report_delay=0.05)
+    g = m.create_group("src")
+    eff = m.join(g, "src")
+    assert eff == pytest.approx(0.05)
+
+
+def test_leave_takes_leave_latency():
+    sched, net = star_network()
+    m = MulticastManager(net, leave_latency=2.0, igmp_report_delay=0.0)
+    g = m.create_group("src")
+    m.join(g, "a")
+    sched.run(until=1.0)
+    eff = m.leave(g, "a")
+    assert eff == pytest.approx(3.0)
+    sched.run(until=2.9)
+    assert "a" in m.members(g)  # still receiving
+    sched.run(until=3.1)
+    assert m.members(g) == frozenset()
+    assert m.tree_edges(g) == frozenset()
+
+
+def test_leave_prunes_only_empty_branches():
+    sched, net = star_network()
+    m = MulticastManager(net, leave_latency=0.5, igmp_report_delay=0.0)
+    g = m.create_group("src")
+    m.join(g, "a")
+    m.join(g, "b")
+    sched.run(until=1.0)
+    m.leave(g, "a")
+    sched.run(until=2.0)
+    assert m.tree_edges(g) == frozenset({("src", "core"), ("core", "b")})
+
+
+def test_join_then_leave_race_resolves_to_latest_request():
+    sched, net = star_network()
+    m = MulticastManager(net, leave_latency=0.05, igmp_report_delay=0.0)
+    g = m.create_group("src")
+    m.join(g, "a")  # effective at 0.2
+    m.leave(g, "a")  # effective at 0.05, before the join applies
+    sched.run(until=1.0)
+    # Last request was leave -> not a member.
+    assert m.members(g) == frozenset()
+
+
+def test_leave_then_rejoin_race():
+    sched, net = star_network()
+    m = MulticastManager(net, leave_latency=2.0, igmp_report_delay=0.0)
+    g = m.create_group("src")
+    m.join(g, "a")
+    sched.run(until=1.0)
+    m.leave(g, "a")  # would apply at 3.0
+    sched.run(until=1.5)
+    m.join(g, "a")  # re-join before the leave applies
+    sched.run(until=5.0)
+    assert "a" in m.members(g)
+
+
+def test_forwarding_tables_installed():
+    sched, net = star_network()
+    m = MulticastManager(net, igmp_report_delay=0.0)
+    g = m.create_group("src")
+    m.join(g, "a")
+    m.join(g, "c")
+    sched.run(until=1.0)
+    assert net.node("src").mcast_fwd[g] == {"core"}
+    assert net.node("core").mcast_fwd[g] == {"a", "c"}
+    assert g not in net.node("b").mcast_fwd
+
+
+def test_data_flows_only_to_members():
+    sched, net = star_network()
+    m = MulticastManager(net, igmp_report_delay=0.0)
+    g = m.create_group("src")
+    got_a, got_b = [], []
+    net.node("a").add_group_handler(g, got_a.append)
+    net.node("b").add_group_handler(g, got_b.append)
+    m.join(g, "a")
+    sched.run(until=1.0)
+    net.node("src").send(Packet(src="src", group=g))
+    sched.run(until=2.0)
+    assert len(got_a) == 1
+    assert len(got_b) == 0
+
+
+def test_no_duplicate_delivery_on_shared_path():
+    sched, net = star_network()
+    m = MulticastManager(net, igmp_report_delay=0.0)
+    g = m.create_group("src")
+    got_a, got_c = [], []
+    net.node("a").add_group_handler(g, got_a.append)
+    net.node("c").add_group_handler(g, got_c.append)
+    m.join(g, "a")
+    m.join(g, "c")
+    sched.run(until=1.0)
+    for _ in range(5):
+        net.node("src").send(Packet(src="src", group=g))
+    sched.run(until=2.0)
+    assert len(got_a) == 5
+    assert len(got_c) == 5
+    # The shared src->core link carried each packet exactly once.
+    assert net.link("src", "core").stats.tx_packets == 5
+
+
+def test_snapshot_history_supports_stale_queries():
+    sched, net = star_network()
+    m = MulticastManager(net, igmp_report_delay=0.0)
+    g = m.create_group("src")
+    m.join(g, "a")  # applies at 0.2
+    sched.run(until=5.0)
+    m.join(g, "b")  # applies at 5.1
+    sched.run(until=10.0)
+    old = m.snapshot_at(g, 3.0)
+    assert old.members == frozenset({"a"})
+    older = m.snapshot_at(g, 0.1)
+    assert older.members == frozenset()
+    fresh = m.snapshot_at(g, 10.0)
+    assert fresh.members == frozenset({"a", "b"})
+
+
+def test_snapshot_before_creation_returns_initial():
+    sched, net = star_network()
+    m = MulticastManager(net)
+    sched.run(until=4.0)
+    g = m.create_group("src")
+    snap = m.snapshot_at(g, 0.0)
+    assert snap.members == frozenset()
+
+
+def test_unknown_group_raises():
+    sched, net = star_network()
+    m = MulticastManager(net)
+    with pytest.raises(KeyError):
+        m.join(99, "a")
+    with pytest.raises(KeyError):
+        m.members(99)
+
+
+def test_unknown_member_raises():
+    sched, net = star_network()
+    m = MulticastManager(net)
+    g = m.create_group("src")
+    with pytest.raises(KeyError):
+        m.join(g, "ghost")
+
+
+def test_negative_latency_rejected():
+    sched, net = star_network()
+    with pytest.raises(ValueError):
+        MulticastManager(net, leave_latency=-1)
+
+
+def test_group_handler_removal():
+    sched, net = star_network()
+    m = MulticastManager(net, igmp_report_delay=0.0)
+    g = m.create_group("src")
+    got = []
+
+    def handler(pkt):
+        got.append(pkt)
+
+    node_a = net.node("a")
+    node_a.add_group_handler(g, handler)
+    m.join(g, "a")
+    sched.run(until=1.0)
+    node_a.remove_group_handler(g, handler)
+    net.node("src").send(Packet(src="src", group=g))
+    sched.run(until=2.0)
+    assert got == []
+    node_a.remove_group_handler(g, handler)  # removing twice is a no-op

@@ -1,0 +1,115 @@
+"""Unit tests for drop-tail and RED queues."""
+
+import numpy as np
+import pytest
+
+from repro.simnet.packet import Packet
+from repro.simnet.queues import DropTailQueue, REDQueue
+
+
+def pkt(size=1000):
+    return Packet(src="s", dst="d", size=size)
+
+
+class TestDropTail:
+    def test_fifo_order(self):
+        q = DropTailQueue(capacity=10)
+        p1, p2, p3 = pkt(), pkt(), pkt()
+        assert q.push(p1) and q.push(p2) and q.push(p3)
+        assert q.pop() is p1
+        assert q.pop() is p2
+        assert q.pop() is p3
+
+    def test_pop_empty_returns_none(self):
+        assert DropTailQueue().pop() is None
+
+    def test_tail_drop_beyond_capacity(self):
+        q = DropTailQueue(capacity=2)
+        assert q.push(pkt())
+        assert q.push(pkt())
+        assert not q.push(pkt())
+        assert q.stats.dropped == 1
+        assert q.stats.enqueued == 2
+
+    def test_capacity_one(self):
+        q = DropTailQueue(capacity=1)
+        assert q.push(pkt())
+        assert not q.push(pkt())
+        q.pop()
+        assert q.push(pkt())
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(capacity=0)
+
+    def test_byte_counters(self):
+        q = DropTailQueue(capacity=1)
+        q.push(pkt(size=500))
+        q.push(pkt(size=700))  # dropped
+        assert q.stats.bytes_enqueued == 500
+        assert q.stats.bytes_dropped == 700
+
+    def test_drop_rate(self):
+        q = DropTailQueue(capacity=1)
+        q.push(pkt())
+        q.push(pkt())
+        assert q.stats.offered == 2
+        assert q.stats.drop_rate == pytest.approx(0.5)
+
+    def test_drop_rate_zero_when_empty(self):
+        assert DropTailQueue().stats.drop_rate == 0.0
+
+    def test_len_and_bool(self):
+        q = DropTailQueue()
+        assert not q and len(q) == 0
+        q.push(pkt())
+        assert q and len(q) == 1
+
+    def test_dequeued_counter(self):
+        q = DropTailQueue()
+        q.push(pkt())
+        q.pop()
+        q.pop()
+        assert q.stats.dequeued == 1
+
+
+class TestRED:
+    def test_accepts_below_min_threshold(self):
+        q = REDQueue(capacity=50, min_th=5, max_th=15, rng=np.random.default_rng(0))
+        for _ in range(4):
+            assert q.push(pkt())
+        assert q.stats.dropped == 0
+
+    def test_always_drops_when_full(self):
+        q = REDQueue(capacity=3, min_th=1, max_th=2, rng=np.random.default_rng(0))
+        for _ in range(10):
+            q.push(pkt())
+        assert len(q) <= 3
+        assert q.stats.dropped >= 7
+
+    def test_probabilistic_drops_in_ramp(self):
+        rng = np.random.default_rng(42)
+        q = REDQueue(capacity=200, min_th=2, max_th=10, max_p=0.5, wq=0.5, rng=rng)
+        accepted = sum(q.push(pkt()) for _ in range(150))
+        assert 0 < q.stats.dropped < 150
+        assert accepted + q.stats.dropped == 150
+
+    def test_parameter_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            REDQueue(min_th=10, max_th=5, rng=rng)
+        with pytest.raises(ValueError):
+            REDQueue(max_p=0.0, rng=rng)
+        with pytest.raises(ValueError):
+            REDQueue(max_p=1.5, rng=rng)
+
+    def test_drop_probability_regions(self):
+        q = REDQueue(capacity=100, min_th=5, max_th=15, max_p=0.1, rng=np.random.default_rng(0))
+        q.avg = 0.0
+        assert q._drop_probability() == 0.0
+        q.avg = 10.0
+        assert 0 < q._drop_probability() < 0.1
+        q.avg = 20.0  # gentle region
+        assert 0.1 <= q._drop_probability() < 1.0
+        q.avg = 40.0
+        assert q._drop_probability() == 1.0

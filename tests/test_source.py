@@ -1,0 +1,187 @@
+"""Unit tests for layered CBR/VBR sources."""
+
+import numpy as np
+import pytest
+
+from repro.media.layers import LayerSchedule
+from repro.media.source import CBR, VBR, LayeredSource
+from repro.simnet.engine import Scheduler
+from repro.simnet.topology import Network
+
+
+def two_node_setup(n_layers=2, bandwidth=10e6):
+    sched = Scheduler()
+    net = Network(sched)
+    net.add_node("src")
+    net.add_node("dst")
+    net.add_link("src", "dst", bandwidth=bandwidth, delay=0.01, queue_limit=10_000)
+    net.build_routes()
+    schedule = LayerSchedule(n_layers=n_layers, base_rate=32_000)
+    groups = list(range(1, n_layers + 1))
+    # Static forwarding: everything flows to dst.
+    for g in groups:
+        net.node("src").mcast_fwd[g] = {"dst"}
+    return sched, net, schedule, groups
+
+
+def collect(net, groups):
+    got = {g: [] for g in groups}
+    for g in groups:
+        net.node("dst").add_group_handler(g, got[g].append)
+    return got
+
+
+def test_cbr_rate_matches_schedule():
+    sched, net, schedule, groups = two_node_setup(n_layers=2)
+    got = collect(net, groups)
+    src = LayeredSource(net.node("src"), 1, groups, schedule, model=CBR)
+    src.start()
+    sched.run(until=10.0)
+    # 32 Kb/s of 1000 B packets = 4 pkt/s; layer 2 = 8 pkt/s; 10 full slots.
+    assert len(got[1]) == 40
+    assert len(got[2]) == 80
+
+
+def test_cbr_packets_evenly_spaced():
+    sched, net, schedule, groups = two_node_setup(n_layers=1)
+    got = collect(net, groups)
+    src = LayeredSource(net.node("src"), 1, groups, schedule, model=CBR)
+    src.start()
+    sched.run(until=3.5)
+    times = [p.created_at for p in got[1]]
+    gaps = np.diff(times)
+    assert gaps == pytest.approx([0.25] * (len(times) - 1))
+
+
+def test_sequence_numbers_contiguous_per_layer():
+    sched, net, schedule, groups = two_node_setup(n_layers=2)
+    got = collect(net, groups)
+    src = LayeredSource(net.node("src"), 1, groups, schedule, model=CBR)
+    src.start()
+    sched.run(until=5.5)
+    for g in groups:
+        seqs = [p.seq for p in got[g]]
+        assert seqs == list(range(len(seqs)))
+
+
+def test_packet_metadata():
+    sched, net, schedule, groups = two_node_setup(n_layers=2)
+    got = collect(net, groups)
+    src = LayeredSource(net.node("src"), 42, groups, schedule, model=CBR)
+    src.start()
+    sched.run(until=1.5)
+    p = got[1][0]
+    assert p.session == 42
+    assert p.layer == 1
+    assert p.size == 1000
+    assert got[2][0].layer == 2
+
+
+def test_vbr_mean_rate_approximates_schedule():
+    sched, net, schedule, groups = two_node_setup(n_layers=1)
+    got = collect(net, groups)
+    rng = np.random.default_rng(1234)
+    src = LayeredSource(
+        net.node("src"), 1, groups, schedule, model=VBR, peak_to_mean=3, rng=rng
+    )
+    src.start()
+    horizon = 400
+    sched.run(until=horizon + 0.5)
+    mean_pps = len(got[1]) / horizon
+    assert mean_pps == pytest.approx(4.0, rel=0.25)
+
+
+def test_vbr_is_bursty():
+    """Some slots carry the burst size P*A + 1 - P, others exactly 1 packet."""
+    sched, net, schedule, groups = two_node_setup(n_layers=1)
+    got = collect(net, groups)
+    rng = np.random.default_rng(7)
+    src = LayeredSource(
+        net.node("src"), 1, groups, schedule, model=VBR, peak_to_mean=3, rng=rng
+    )
+    src.start()
+    sched.run(until=100.5)
+    per_slot = {}
+    for p in got[1]:
+        per_slot.setdefault(int(p.created_at), 0)
+        per_slot[int(p.created_at)] += 1
+    counts = set(per_slot.values())
+    # A=4, P=3: burst slots carry P*A+1-P = 10 packets, quiet slots 1.
+    assert 1 in counts
+    assert 10 in counts
+
+
+def test_vbr_draw_distribution():
+    schedule = LayerSchedule(n_layers=1, base_rate=32_000)
+    sched = Scheduler()
+    net = Network(sched)
+    node = net.add_node("src")
+    rng = np.random.default_rng(0)
+    src = LayeredSource(node, 1, [1], schedule, model=VBR, peak_to_mean=6, rng=rng)
+    draws = [src._draw_packets(4.0) for _ in range(6000)]
+    # P=6: burst value 6*4+1-6 = 19 w.p. 1/6, else 1.
+    assert set(draws) == {1, 19}
+    frac_burst = draws.count(19) / len(draws)
+    assert frac_burst == pytest.approx(1 / 6, abs=0.03)
+
+
+def test_vbr_requires_rng():
+    sched, net, schedule, groups = two_node_setup(n_layers=1)
+    with pytest.raises(ValueError):
+        LayeredSource(net.node("src"), 1, groups, schedule, model=VBR)
+
+
+def test_invalid_model():
+    sched, net, schedule, groups = two_node_setup(n_layers=1)
+    with pytest.raises(ValueError):
+        LayeredSource(net.node("src"), 1, groups, schedule, model="abr")
+
+
+def test_peak_to_mean_must_exceed_one():
+    sched, net, schedule, groups = two_node_setup(n_layers=1)
+    with pytest.raises(ValueError):
+        LayeredSource(
+            net.node("src"), 1, groups, schedule, model=VBR,
+            peak_to_mean=1.0, rng=np.random.default_rng(0),
+        )
+
+
+def test_group_count_must_match_layers():
+    sched, net, schedule, groups = two_node_setup(n_layers=2)
+    with pytest.raises(ValueError):
+        LayeredSource(net.node("src"), 1, [1], schedule, model=CBR)
+
+
+def test_stop_halts_emission():
+    sched, net, schedule, groups = two_node_setup(n_layers=1)
+    got = collect(net, groups)
+    src = LayeredSource(net.node("src"), 1, groups, schedule, model=CBR)
+    src.start()
+    sched.run(until=2.5)
+    src.stop()
+    assert not src.running
+    sched.run(until=3.0)  # drain packets already on the wire
+    count = len(got[1])
+    sched.run(until=10.0)
+    assert len(got[1]) == count
+
+
+def test_start_twice_is_noop():
+    sched, net, schedule, groups = two_node_setup(n_layers=1)
+    got = collect(net, groups)
+    src = LayeredSource(net.node("src"), 1, groups, schedule, model=CBR)
+    src.start()
+    src.start()
+    sched.run(until=2.0)
+    assert len(got[1]) == 8  # not doubled
+
+
+def test_delayed_start():
+    sched, net, schedule, groups = two_node_setup(n_layers=1)
+    got = collect(net, groups)
+    src = LayeredSource(net.node("src"), 1, groups, schedule, model=CBR)
+    src.start(at=5.0)
+    sched.run(until=4.9)
+    assert len(got[1]) == 0
+    sched.run(until=7.5)
+    assert len(got[1]) > 0

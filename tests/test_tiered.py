@@ -1,0 +1,82 @@
+"""Tests for the random tiered-topology generator (paper Fig. 2)."""
+
+import pytest
+
+from repro.experiments.tiered import DEFAULT_TIERS, TierSpec, build_tiered_topology
+
+
+def test_structure_tiers_present():
+    sc = build_tiered_topology(seed=1)
+    names = set(map(str, sc.network.nodes))
+    assert any(n.startswith("regional") for n in names)
+    assert any(n.startswith("local") for n in names)
+    assert any(n.startswith("institutional") for n in names)
+    assert any(n.startswith("h") for n in names)
+    assert sc.receivers
+
+
+def test_deterministic_for_seed():
+    a = build_tiered_topology(seed=5)
+    b = build_tiered_topology(seed=5)
+    assert set(a.network.nodes) == set(b.network.nodes)
+    assert {
+        k: l.bandwidth for k, l in a.network.links.items()
+    } == {k: l.bandwidth for k, l in b.network.links.items()}
+
+
+def test_different_seeds_differ():
+    a = build_tiered_topology(seed=1)
+    b = build_tiered_topology(seed=2)
+    assert set(a.network.nodes) != set(b.network.nodes) or {
+        k: l.bandwidth for k, l in a.network.links.items()
+    } != {k: l.bandwidth for k, l in b.network.links.items()}
+
+
+def test_bandwidth_gradient_last_mile_is_bottleneck():
+    """Institutional access links are slower than regional ones."""
+    sc = build_tiered_topology(seed=3)
+    regional = [
+        l.bandwidth for (a, b), l in sc.network.links.items()
+        if str(a) == "src" and str(b).startswith("regional")
+    ]
+    institutional = [
+        l.bandwidth for (a, b), l in sc.network.links.items()
+        if str(a).startswith("local") and str(b).startswith("institutional")
+    ]
+    assert min(regional) > max(institutional)
+
+
+def test_max_receivers_cap():
+    sc = build_tiered_topology(seed=1, max_receivers=3)
+    assert len(sc.receivers) <= 3
+
+
+def test_receiver_fraction_validation():
+    with pytest.raises(ValueError):
+        build_tiered_topology(receiver_fraction=0.0)
+
+
+def test_custom_tiers():
+    tiers = (
+        TierSpec("mid", fanout=(2, 2), bandwidth=(1e6, 1e6)),
+        TierSpec("edge", fanout=(2, 2), bandwidth=(100e3, 100e3)),
+    )
+    sc = build_tiered_topology(seed=1, tiers=tiers)
+    edges = [n for n in map(str, sc.network.nodes) if n.startswith("edge")]
+    assert len(edges) == 4  # 2 mids x fanout 2
+
+
+def test_toposense_tracks_oracle_on_random_tiered_topology():
+    """End-to-end: on a random hierarchy, receivers move toward the oracle
+    levels their last-mile links dictate."""
+    sc = build_tiered_topology(seed=7, max_receivers=6, traffic="cbr")
+    res = sc.run(240.0)
+    optimal = res.optimal_levels()
+    assert len(set(optimal.values())) >= 2  # heterogeneous optima
+    dev = res.mean_deviation(80.0)
+    assert dev < 0.6, dev
+    # No receiver is catastrophically off (at base while optimum is high).
+    for h in sc.receivers:
+        opt = optimal[(h.session_id, h.receiver_id)]
+        mean = h.trace.time_weighted_mean(80.0, res.end_time)
+        assert mean >= 0.3 * opt, (h.receiver_id, mean, opt)

@@ -1,0 +1,135 @@
+"""Unit tests for StepTrace and SeriesTrace."""
+
+import pytest
+
+from repro.simnet.tracing import SeriesTrace, StepTrace
+
+
+class TestStepTrace:
+    def test_initial_value(self):
+        t = StepTrace(t0=0.0, v0=2)
+        assert t.value_at(0.0) == 2
+        assert t.value_at(100.0) == 2
+
+    def test_record_and_lookup(self):
+        t = StepTrace(0.0, 1)
+        t.record(10.0, 2)
+        t.record(20.0, 3)
+        assert t.value_at(5.0) == 1
+        assert t.value_at(10.0) == 2
+        assert t.value_at(15.0) == 2
+        assert t.value_at(25.0) == 3
+
+    def test_duplicate_value_not_stored(self):
+        t = StepTrace(0.0, 1)
+        t.record(5.0, 1)
+        assert len(t) == 1
+
+    def test_same_instant_overwrite(self):
+        t = StepTrace(0.0, 1)
+        t.record(5.0, 2)
+        t.record(5.0, 3)
+        assert t.value_at(5.0) == 3
+        assert len(t) == 2
+
+    def test_same_instant_overwrite_collapses_to_previous(self):
+        t = StepTrace(0.0, 1)
+        t.record(5.0, 2)
+        t.record(5.0, 1)  # back to original value -> change disappears
+        assert len(t) == 1
+        assert t.value_at(10.0) == 1
+
+    def test_non_monotonic_rejected(self):
+        t = StepTrace(0.0, 1)
+        t.record(5.0, 2)
+        with pytest.raises(ValueError):
+            t.record(4.0, 3)
+
+    def test_lookup_before_start_rejected(self):
+        t = StepTrace(1.0, 0)
+        with pytest.raises(ValueError):
+            t.value_at(0.5)
+
+    def test_num_changes_window(self):
+        t = StepTrace(0.0, 0)
+        for i, time in enumerate([10.0, 20.0, 30.0], start=1):
+            t.record(time, i)
+        assert t.num_changes() == 3
+        assert t.num_changes(15.0, 25.0) == 1
+        assert t.num_changes(0.0, 9.0) == 0
+
+    def test_mean_time_between_changes(self):
+        t = StepTrace(0.0, 0)
+        t.record(10.0, 1)
+        t.record(30.0, 2)
+        t.record(40.0, 3)
+        # gaps: 20, 10 -> mean 15
+        assert t.mean_time_between_changes(0.0, 100.0) == pytest.approx(15.0)
+
+    def test_mean_time_between_changes_stable_signal(self):
+        t = StepTrace(0.0, 4)
+        assert t.mean_time_between_changes(0.0, 1200.0) == pytest.approx(1200.0)
+
+    def test_time_weighted_mean(self):
+        t = StepTrace(0.0, 0)
+        t.record(5.0, 10)
+        # [0,5) at 0, [5,10) at 10 -> mean 5
+        assert t.time_weighted_mean(0.0, 10.0) == pytest.approx(5.0)
+
+    def test_time_weighted_mean_partial_window(self):
+        t = StepTrace(0.0, 2)
+        t.record(10.0, 4)
+        assert t.time_weighted_mean(5.0, 15.0) == pytest.approx(3.0)
+
+    def test_time_weighted_mean_invalid_window(self):
+        t = StepTrace(0.0, 1)
+        with pytest.raises(ValueError):
+            t.time_weighted_mean(5.0, 5.0)
+
+    def test_segments_cover_window(self):
+        t = StepTrace(0.0, 1)
+        t.record(10.0, 2)
+        t.record(20.0, 3)
+        segs = list(t.segments(5.0, 25.0))
+        assert segs == [(5.0, 10.0, 1), (10.0, 20.0, 2), (20.0, 25.0, 3)]
+        total = sum(b - a for a, b, _ in segs)
+        assert total == pytest.approx(20.0)
+
+    def test_segments_window_inside_one_piece(self):
+        t = StepTrace(0.0, 7)
+        segs = list(t.segments(3.0, 4.0))
+        assert segs == [(3.0, 4.0, 7)]
+
+
+class TestSeriesTrace:
+    def test_record_and_window(self):
+        s = SeriesTrace()
+        for i in range(5):
+            s.record(float(i), i * 0.1)
+        t, v = s.window(1.0, 3.0)
+        assert list(t) == [1.0, 2.0, 3.0]
+        assert v == pytest.approx([0.1, 0.2, 0.3])
+
+    def test_mean(self):
+        s = SeriesTrace()
+        s.record(0.0, 1.0)
+        s.record(1.0, 3.0)
+        assert s.mean() == pytest.approx(2.0)
+        assert s.mean(0.5, 2.0) == pytest.approx(3.0)
+
+    def test_mean_empty_is_nan(self):
+        import math
+
+        assert math.isnan(SeriesTrace().mean())
+
+    def test_non_monotonic_rejected(self):
+        s = SeriesTrace()
+        s.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            s.record(4.0, 1.0)
+
+    def test_len(self):
+        s = SeriesTrace()
+        assert len(s) == 0
+        s.record(0.0, 0.0)
+        assert len(s) == 1
