@@ -5,6 +5,7 @@ Usage::
     python -m repro fig6 [--duration 600] [--seed 1]
     python -m repro fig7 | fig8 | fig9 | fig10 | table1
     python -m repro demo --topology a --receivers 4 --traffic vbr --peak 3
+    python -m repro chaos --seed 1 [--plan faults.json] [--json]
 
 ``REPRO_FULL=1`` switches every experiment to the paper's 1200 s horizon.
 """
@@ -99,6 +100,37 @@ def _cmd_table1(args) -> None:
     _print_rows(figures.table1_rows(), args.json)
 
 
+def _cmd_chaos(args) -> None:
+    from .experiments.chaos import (
+        DEFAULT_DURATION,
+        default_chaos_plan,
+        render_chaos_report,
+        run_chaos,
+    )
+    from .faults import FaultPlan
+
+    plan = None
+    if args.plan:
+        try:
+            with open(args.plan) as fh:
+                plan = FaultPlan.from_dicts(json.load(fh))
+        except (OSError, ValueError, KeyError) as exc:
+            sys.exit(f"chaos: cannot load fault plan {args.plan!r}: {exc}")
+    result = run_chaos(
+        seed=args.seed,
+        duration=args.duration or DEFAULT_DURATION,
+        n_receivers=args.receivers,
+        plan=plan,
+        recover_intervals=args.recover_intervals,
+    )
+    if args.json:
+        print(json.dumps(result, indent=2, default=str))
+    else:
+        print(render_chaos_report(result))
+    if not result["ok"]:
+        sys.exit(1)
+
+
 def _cmd_demo(args) -> None:
     if args.topology == "a":
         sc = build_topology_a(
@@ -146,6 +178,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             p.add_argument("--plot", action="store_true",
                            help="draw an ASCII timeline instead of a summary")
         p.set_defaults(fn=fn)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="replay a seeded fault storm and report per-receiver recovery",
+    )
+    common(chaos)
+    chaos.add_argument("--receivers", type=int, default=4)
+    chaos.add_argument("--plan", type=str, default=None,
+                       help="JSON fault plan (default: the canonical storm)")
+    chaos.add_argument("--recover-intervals", type=float, default=3.0,
+                       help="recovery bound, in control intervals (default 3)")
+    chaos.set_defaults(fn=_cmd_chaos)
 
     demo = sub.add_parser("demo", help="run one scenario and print a summary")
     common(demo)

@@ -24,11 +24,12 @@ from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
+from ..core.session_topology import SessionTree
 from ..core.types import ReceiverReport, SessionInput, SuggestionSet
 from ..media.receiver import LayeredReceiver
 from ..simnet.node import Node
 from ..simnet.packet import CONTROL, Packet
-from .discovery import TopologyDiscovery
+from .discovery import DiscoveryUnavailable, TopologyDiscovery
 from .messages import (
     CONTROL_PORT,
     REGISTER_SIZE,
@@ -56,24 +57,55 @@ class ReceiverAgent:
         unilateral_after: float = 6.0,
         loss_threshold: float = 0.05,
         register_retries: int = 5,
+        register_backoff: float = 0.5,
+        register_backoff_cap: float = 8.0,
+        reregister_after: Optional[float] = None,
+        controller_candidates: Optional[List[Any]] = None,
     ):
         self.receiver = receiver
         self.node: Node = receiver.node
         self.sched = receiver.sched
-        self.controller_node = controller_node
+        #: Controller addresses to try, in order.  The first entry is the
+        #: primary; further entries are standbys the agent rotates to when a
+        #: registration round fails or the current controller goes silent
+        #: (VRRP/anycast-style failover without a discovery protocol).
+        self.controller_candidates: List[Any] = [
+            c for c in (controller_candidates or [controller_node]) if c is not None
+        ] or [controller_node]
+        self._candidate_index = 0
+        self.controller_node = self.controller_candidates[0]
         self.interval = interval
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.unilateral_after = unilateral_after
         self.loss_threshold = loss_threshold
         self.register_retries = register_retries
+        self.register_backoff = register_backoff
+        self.register_backoff_cap = register_backoff_cap
+        #: Controller-silence deadline: with no ack/suggestion for this long
+        #: the agent declares the controller dead, drops its registration and
+        #: re-registers (rotating candidates), so a failed-over controller
+        #: re-learns its receivers.  Defaults to a conservative multiple of
+        #: the control interval; chaos scenarios tighten it.
+        self.reregister_after = (
+            max(3 * unilateral_after, 6 * interval)
+            if reregister_after is None
+            else reregister_after
+        )
         self.port = f"rcv:{receiver.session_id}:{receiver.receiver_id}"
         self.registered = False
         self.last_suggestion_at: Optional[float] = None
         self.suggestions_received = 0
+        #: Arrival times of every suggestion (for suggestion-gap metrics).
+        self.suggestion_times: List[float] = []
         self.reports_sent = 0
         self.unilateral_drops = 0
+        self.register_attempts = 0
+        self.reregistrations = 0
         self.active = True
         self._started = False
+        self._started_at: Optional[float] = None
+        self._last_contact: Optional[float] = None
+        self._register_ev = None
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -81,15 +113,44 @@ class ReceiverAgent:
         if self._started:
             return
         self._started = True
+        self._started_at = self.sched.now
+        self._last_contact = self.sched.now
         self.node.bind_port(self.port, self._on_packet)
-        self._register(attempt=0)
-        # Jittered phase so receivers do not report in lock-step.
+        # Jittered phase so receivers do not report in lock-step.  Drawn
+        # before registering so the phase does not depend on how many
+        # backoff-jitter draws the registration path makes.
         phase = float(self.rng.uniform(0.05, 0.25)) * self.interval
+        self._register(attempt=0)
         self.sched.every(self.interval, self._report, start=self.sched.now + self.interval + phase)
 
+    # ------------------------------------------------------------------
+    # Registration (capped exponential backoff + failover rotation)
+    # ------------------------------------------------------------------
+    def _rotate_controller(self) -> None:
+        if len(self.controller_candidates) > 1:
+            self._candidate_index = (self._candidate_index + 1) % len(
+                self.controller_candidates
+            )
+            self.controller_node = self.controller_candidates[self._candidate_index]
+
+    def _begin_registration(self) -> None:
+        """Start a fresh registration round, superseding any pending retry."""
+        if self._register_ev is not None:
+            self._register_ev.cancel()
+            self._register_ev = None
+        self._register(attempt=0)
+
     def _register(self, attempt: int) -> None:
-        if self.registered or attempt >= self.register_retries:
+        if self.registered or not self.active:
             return
+        # The node may have crashed and recovered since we bound the port.
+        if self.port not in self.node.port_handlers:
+            self.node.bind_port(self.port, self._on_packet)
+        if attempt > 0:
+            # Retrying: the previous attempt went unanswered; with standbys
+            # configured, alternate targets so a dead primary does not
+            # blackhole the whole round.
+            self._rotate_controller()
         msg = Register(
             receiver_id=self.receiver.receiver_id,
             session_id=self.receiver.session_id,
@@ -97,7 +158,20 @@ class ReceiverAgent:
             port=self.port,
         )
         self._send(msg, REGISTER_SIZE)
-        self.sched.after(1.0 + attempt, self._register, attempt + 1)
+        self.register_attempts += 1
+        if attempt + 1 >= self.register_retries:
+            # Round exhausted: cool off for the cap, then start over.  The
+            # agent never gives up permanently — an orphaned receiver must
+            # eventually find a restarted or failed-over controller.
+            delay = self.register_backoff_cap
+            next_attempt = 0
+        else:
+            delay = min(
+                self.register_backoff_cap, self.register_backoff * (2.0 ** attempt)
+            )
+            next_attempt = attempt + 1
+        delay *= 1.0 + float(self.rng.uniform(-0.25, 0.25))  # jitter
+        self._register_ev = self.sched.after(delay, self._register, next_attempt)
 
     def _send(self, msg: Any, size: int) -> None:
         self.node.send(
@@ -122,6 +196,9 @@ class ReceiverAgent:
         if not self.active:
             return
         self.active = False
+        if self._register_ev is not None:
+            self._register_ev.cancel()
+            self._register_ev = None
         self.receiver.set_level(0)
         self.node.unbind_port(self.port)
 
@@ -129,6 +206,10 @@ class ReceiverAgent:
     def _report(self) -> None:
         if not self.active:
             raise StopIteration  # ends the periodic reporting loop
+        # Silence check first, so this interval's report already goes to the
+        # rotated-to controller (a failed-over standby needs a report before
+        # its next tick to have anything to base a suggestion on).
+        self._check_controller_silence()
         stats = self.receiver.interval_stats()
         msg = Report(
             receiver_id=self.receiver.receiver_id,
@@ -143,24 +224,64 @@ class ReceiverAgent:
         self.reports_sent += 1
         self._maybe_unilateral(stats.loss_rate)
 
+    def _check_controller_silence(self) -> None:
+        """Drop a registration the controller has stopped honouring.
+
+        A failed-over (or restarted) controller starts with an empty
+        registration table; without this, receivers would keep reporting to
+        it while never being suggested to again."""
+        if not self.registered or self._last_contact is None:
+            return
+        if self.sched.now - self._last_contact <= self.reregister_after:
+            return
+        self.registered = False
+        self.reregistrations += 1
+        self._rotate_controller()
+        self._last_contact = self.sched.now  # restart the silence clock
+        self._begin_registration()
+
     def _maybe_unilateral(self, loss_rate: float) -> None:
-        """Paper: receivers act alone when suggestions stop arriving."""
+        """Paper: receivers act alone when suggestions stop arriving.
+
+        A receiver that has *never* heard from the controller (orphaned by a
+        lost registration or a controller that was down from the start) uses
+        its own start time as the reference: after ``unilateral_after``
+        seconds of silence it manages its subscription unilaterally rather
+        than staying over-subscribed forever."""
         reference = self.last_suggestion_at
         if reference is None:
-            return  # never heard from the controller; stay put
+            reference = self._started_at
+            if reference is None:
+                return
         if self.sched.now - reference < self.unilateral_after:
             return
         if loss_rate > self.loss_threshold and self.receiver.level > 1:
             self.receiver.drop_layer()
             self.unilateral_drops += 1
 
+    def _sync_controller(self, node: Any) -> None:
+        """Stick with the controller that actually answered us.
+
+        A registration retry may have rotated ``controller_node`` to a
+        standby while the primary's ack was still in flight (the first
+        backoff can be shorter than the control RTT); without this, reports
+        would flow to a node where no controller is listening."""
+        if node in self.controller_candidates:
+            self._candidate_index = self.controller_candidates.index(node)
+            self.controller_node = node
+
     def _on_packet(self, pkt: Packet) -> None:
         msg = pkt.payload
         if isinstance(msg, RegisterAck):
             self.registered = True
+            self._last_contact = self.sched.now
+            self._sync_controller(pkt.src)
         elif isinstance(msg, Suggestion):
             self.last_suggestion_at = self.sched.now
+            self._last_contact = self.sched.now
+            self._sync_controller(pkt.src)
             self.suggestions_received += 1
+            self.suggestion_times.append(self.sched.now)
             if 0 <= msg.level <= self.receiver.schedule.n_layers:
                 # Layers are added one at a time (paper §V: a large layer
                 # count "can delay convergence since layers are added one at
@@ -183,11 +304,14 @@ class ControllerAgent:
         algorithm: Any,
         interval: float = 2.0,
         info_staleness: float = 0.0,
+        max_tree_age: Optional[float] = 30.0,
     ):
         if interval <= 0:
             raise ValueError("interval must be positive")
         if info_staleness < 0:
             raise ValueError("info_staleness must be >= 0")
+        if max_tree_age is not None and max_tree_age < 0:
+            raise ValueError("max_tree_age must be >= 0 (or None for unbounded)")
         self.node = node
         self.sched = node.sched
         self.sessions = {s.session_id: s for s in sessions}
@@ -198,19 +322,32 @@ class ControllerAgent:
         #: The paper's Fig. 10 stales "topology and loss information"
         #: together; the topology half lives in the discovery tool.
         self.info_staleness = info_staleness
+        #: When discovery is unavailable the controller serves the session's
+        #: last successfully discovered tree, but only while it is at most
+        #: this old (``None`` = serve it forever).  Sessions beyond the bound
+        #: are skipped for the tick rather than acted on blindly.
+        self.max_tree_age = max_tree_age
         # (session_id, receiver_id) -> registration info
         self.registrations: Dict[tuple, Register] = {}
         # (session_id, receiver_id) -> latest Report (ignoring staleness)
         self.latest_reports: Dict[tuple, Report] = {}
         # (session_id, receiver_id) -> [(arrival_time, Report), ...]
         self._report_history: Dict[tuple, List[tuple]] = {}
+        # session_id -> (discovered_at, tree): last-known-good discovery
+        self._last_good_trees: Dict[Any, tuple] = {}
         self.reports_received = 0
         self.suggestions_sent = 0
         self.updates_run = 0
+        self.discovery_failures = 0
+        self.sessions_skipped = 0
         self.last_suggestions: Optional[SuggestionSet] = None
         #: Optional usage/billing ledger fed with every incoming report.
         self.ledger = None
         self._started = False
+        self.active = False
+        # Restart generation: a stale tick chain from before a stop()/start()
+        # cycle sees a newer epoch and dies instead of double-ticking.
+        self._epoch = 0
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -218,15 +355,42 @@ class ControllerAgent:
 
         The first tick happens 1.75 intervals in, so that at least one round
         of receiver reports (sent just past each interval boundary, plus
-        propagation) has arrived.
+        propagation) has arrived.  Callable again after :meth:`stop` — a
+        restarted controller resumes with whatever state it still holds.
         """
         if self._started:
             return
         self._started = True
-        self.node.bind_port(CONTROL_PORT, self._on_packet)
+        self.active = True
+        self._epoch += 1
+        if CONTROL_PORT not in self.node.port_handlers:
+            self.node.bind_port(CONTROL_PORT, self._on_packet)
         self.sched.every(
-            self.interval, self._tick, start=self.sched.now + 1.75 * self.interval
+            self.interval,
+            self._tick,
+            self._epoch,
+            start=self.sched.now + 1.75 * self.interval,
         )
+
+    def stop(self) -> None:
+        """Crash/stop the controller: unbind the port, end the tick loop.
+
+        Receivers stop getting acks and suggestions; their silence watchdog
+        eventually drops the registration and re-registers (possibly with a
+        standby).  :meth:`start` restarts this agent in place.
+        """
+        if not self._started:
+            return
+        self._started = False
+        self.active = False
+        self.node.unbind_port(CONTROL_PORT)
+
+    def clear_state(self) -> None:
+        """Forget all learned state (a cold-started replacement controller)."""
+        self.registrations.clear()
+        self.latest_reports.clear()
+        self._report_history.clear()
+        self._last_good_trees.clear()
 
     def add_session(self, descriptor: SessionDescriptor) -> None:
         """Register an additional session to manage."""
@@ -278,8 +442,33 @@ class ControllerAgent:
                 return rep
         return None
 
+    def _discover_tree(
+        self, descriptor: SessionDescriptor, receivers: Dict[Any, Any], now: float
+    ) -> Optional[SessionTree]:
+        """Discover the session tree, degrading gracefully on failure.
+
+        On :class:`DiscoveryUnavailable` the last successfully discovered
+        tree is served while it is younger than :attr:`max_tree_age`;
+        otherwise ``None`` (the caller skips the session this tick).
+        """
+        try:
+            tree = self.discovery.session_tree(descriptor, receivers, now=now)
+        except DiscoveryUnavailable:
+            self.discovery_failures += 1
+            cached = self._last_good_trees.get(descriptor.session_id)
+            if cached is None:
+                return None
+            discovered_at, tree = cached
+            if self.max_tree_age is not None and now - discovered_at > self.max_tree_age:
+                return None
+            return tree
+        self._last_good_trees[descriptor.session_id] = (now, tree)
+        return tree
+
     # ------------------------------------------------------------------
-    def _tick(self) -> None:
+    def _tick(self, epoch: Optional[int] = None) -> None:
+        if not self.active or (epoch is not None and epoch != self._epoch):
+            raise StopIteration  # stopped (or superseded by a restart)
         now = self.sched.now
         cutoff = now - self.info_staleness
         inputs: List[SessionInput] = []
@@ -289,7 +478,10 @@ class ControllerAgent:
                 for (s, rid), reg in self.registrations.items()
                 if s == sid
             }
-            tree = self.discovery.session_tree(descriptor, receivers, now=now)
+            tree = self._discover_tree(descriptor, receivers, now)
+            if tree is None:
+                self.sessions_skipped += 1
+                continue
             reports = {}
             for (s, rid) in self.latest_reports:
                 if s != sid:

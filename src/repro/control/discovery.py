@@ -20,7 +20,14 @@ from ..core.session_topology import SessionTree
 from ..multicast.manager import MulticastManager
 from .session import SessionDescriptor
 
-__all__ = ["TopologyDiscovery"]
+__all__ = ["DiscoveryUnavailable", "TopologyDiscovery"]
+
+
+class DiscoveryUnavailable(RuntimeError):
+    """The discovery tool timed out / is unreachable (injected fault).
+
+    The controller agent catches this and falls back to its last-known-good
+    tree (age-bounded), or skips the session for the tick."""
 
 
 class TopologyDiscovery:
@@ -53,6 +60,26 @@ class TopologyDiscovery:
         self.staleness = staleness
         self.domain = frozenset(domain) if domain is not None else None
         self.queries = 0
+        #: Injected fault state: ``None`` (healthy), ``"timeout"`` (queries
+        #: raise :class:`DiscoveryUnavailable`) or ``"truncate"`` (queries
+        #: return trees clipped to ``truncate_depth`` hops below the root).
+        self.fault_mode: Optional[str] = None
+        self.truncate_depth = 1
+        self.failed_queries = 0
+
+    # ------------------------------------------------------------------
+    def set_fault(self, mode: Optional[str], truncate_depth: int = 1) -> None:
+        """Inject (or with ``mode=None`` clear) a discovery fault."""
+        if mode not in (None, "timeout", "truncate"):
+            raise ValueError(f"unknown discovery fault mode {mode!r}")
+        if truncate_depth < 0:
+            raise ValueError("truncate_depth must be >= 0")
+        self.fault_mode = mode
+        self.truncate_depth = truncate_depth
+
+    def clear_fault(self) -> None:
+        """Restore healthy discovery."""
+        self.fault_mode = None
 
     def session_tree(
         self,
@@ -70,10 +97,18 @@ class TopologyDiscovery:
         if now is None:
             now = self.mcast.sched.now
         self.queries += 1
+        if self.fault_mode == "timeout":
+            self.failed_queries += 1
+            raise DiscoveryUnavailable(
+                f"discovery timed out for session {descriptor.session_id!r}"
+            )
         at = max(now - self.staleness, 0.0)
         layer_edges = []
         tree_nodes = {descriptor.source}
         for group in descriptor.groups:
+            # A group with no snapshot history at ``at`` (e.g. created by a
+            # failed-over controller's registration before the source ran)
+            # contributes an empty layer rather than raising.
             snap = self.mcast.snapshot_at(group, at)
             edges = snap.edges
             if self.domain is not None:
@@ -100,6 +135,17 @@ class TopologyDiscovery:
                 for u, v in edges:
                     tree_nodes.add(u)
                     tree_nodes.add(v)
+        if self.fault_mode == "truncate":
+            self.failed_queries += 1
+            layer_edges = [
+                self._clip_depth(root, edges, self.truncate_depth)
+                for edges in layer_edges
+            ]
+            tree_nodes = {root}
+            for edges in layer_edges:
+                for u, v in edges:
+                    tree_nodes.add(u)
+                    tree_nodes.add(v)
         visible = {
             node: rid for rid, node in receivers.items() if node in tree_nodes
         }
@@ -108,6 +154,23 @@ class TopologyDiscovery:
         return SessionTree.from_layer_snapshots(
             descriptor.session_id, root, layer_edges, visible
         )
+
+    @staticmethod
+    def _clip_depth(root, edges, depth: int) -> frozenset:
+        """Edges within ``depth`` hops below ``root`` (truncated discovery)."""
+        children = {}
+        for u, v in edges:
+            children.setdefault(u, []).append(v)
+        keep = set()
+        frontier = [root]
+        for _ in range(depth):
+            nxt = []
+            for u in frontier:
+                for v in children.get(u, ()):
+                    keep.add((u, v))
+                    nxt.append(v)
+            frontier = nxt
+        return frozenset(keep)
 
     @staticmethod
     def _entry_node(layer_edges) -> Optional[Any]:

@@ -1,6 +1,7 @@
 """Experiment scaffolding: scenario assembly, the paper's topologies, and
 per-figure experiment drivers."""
 
+from .chaos import build_chaos_scenario, default_chaos_plan, run_chaos
 from .domains import build_two_domain_topology
 from .scenario import ReceiverHandle, Scenario, ScenarioResult
 from .tiered import TierSpec, build_tiered_topology
@@ -15,4 +16,7 @@ __all__ = [
     "build_two_domain_topology",
     "build_tiered_topology",
     "TierSpec",
+    "build_chaos_scenario",
+    "default_chaos_plan",
+    "run_chaos",
 ]

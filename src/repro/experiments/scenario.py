@@ -60,6 +60,7 @@ class ReceiverHandle:
     mode: str
     agent: Any = None  # ReceiverAgent or RLMReceiver, set at run()
     controller_name: str = "default"
+    agent_kwargs: Optional[Dict[str, Any]] = None  # extra ReceiverAgent args
 
     @property
     def trace(self) -> StepTrace:
@@ -94,6 +95,7 @@ class Scenario:
         self.controllers: Dict[str, ControllerAgent] = {}
         self.discoveries: Dict[str, TopologyDiscovery] = {}
         self._controller_nodes: Dict[str, Any] = {}
+        self._standby_nodes: Dict[str, Any] = {}
         self._session_counter = 0
         self._receiver_counter = 0
         self._routes_built = False
@@ -181,12 +183,15 @@ class Scenario:
         initial_level: int = 1,
         mode: str = "controlled",
         controller: str = "default",
+        agent_kwargs: Optional[Dict[str, Any]] = None,
     ) -> ReceiverHandle:
         """Place a receiver for ``session_id`` at ``node``.
 
         ``controller`` names the controller agent the receiver registers
         with (only meaningful for ``mode="controlled"``; multi-domain
-        scenarios attach one controller per domain).
+        scenarios attach one controller per domain).  ``agent_kwargs`` are
+        forwarded to the :class:`ReceiverAgent` constructed at :meth:`run`
+        (e.g. ``reregister_after`` for chaos scenarios).
         """
         if mode not in ("controlled", "rlm", "static"):
             raise ValueError(f"unknown receiver mode {mode!r}")
@@ -204,7 +209,8 @@ class Scenario:
             initial_level=initial_level,
         )
         handle = ReceiverHandle(
-            receiver_id, session_id, node, receiver, mode, controller_name=controller
+            receiver_id, session_id, node, receiver, mode,
+            controller_name=controller, agent_kwargs=agent_kwargs,
         )
         self.receivers.append(handle)
         self.plans[session_id].add_receiver(receiver_id, node)
@@ -219,6 +225,8 @@ class Scenario:
         staleness: float = 0.0,
         name: str = "default",
         domain: Optional[set] = None,
+        standby_node: Optional[Any] = None,
+        max_tree_age: Optional[float] = 30.0,
     ) -> ControllerAgent:
         """Station a controller agent at ``node``.
 
@@ -230,6 +238,10 @@ class Scenario:
         controller per domain, each with a distinct ``name`` and a
         ``domain`` node set its discovery tool is clipped to; receivers
         then pick their controller via ``add_receiver(..., controller=)``.
+
+        ``standby_node`` names a node a failed controller can fail over to
+        (see :class:`~repro.faults.injectors.ControllerFault`); receivers
+        are given both addresses as registration candidates.
         """
         if name in self.controllers:
             raise ValueError(f"controller {name!r} already attached")
@@ -248,11 +260,30 @@ class Scenario:
             algorithm,
             interval=interval,
             info_staleness=staleness,
+            max_tree_age=max_tree_age,
         )
         self.discoveries[name] = discovery
         self.controllers[name] = controller
         self._controller_nodes[name] = node
+        if standby_node is not None:
+            if standby_node not in self.network.nodes:
+                raise KeyError(f"unknown standby node {standby_node!r}")
+            self._standby_nodes[name] = standby_node
         return controller
+
+    # -- failover plumbing (used by repro.faults) -----------------------
+    def standby_node(self, name: str = "default") -> Optional[Any]:
+        """The configured standby node for controller ``name`` (or None)."""
+        return self._standby_nodes.get(name)
+
+    def promote_controller(
+        self, name: str, controller: ControllerAgent, node: Any
+    ) -> None:
+        """Replace the registry entry for ``name`` with a standby that took
+        over at ``node`` (the old primary stays stopped but reachable to
+        callers holding a reference)."""
+        self.controllers[name] = controller
+        self._controller_nodes[name] = node
 
     # -- single-controller conveniences (most scenarios) -----------------
     @property
@@ -294,11 +325,17 @@ class Scenario:
                         f"receiver {handle.receiver_id!r} needs controller "
                         f"{handle.controller_name!r}: attach_controller() first"
                     )
+                candidates = [self._controller_nodes[handle.controller_name]]
+                standby = self._standby_nodes.get(handle.controller_name)
+                if standby is not None:
+                    candidates.append(standby)
                 handle.agent = ReceiverAgent(
                     handle.receiver,
-                    self._controller_nodes[handle.controller_name],
+                    candidates[0],
                     interval=controller.interval,
                     rng=self.rngs.fork(f"rcvagent/{handle.receiver_id}"),
+                    controller_candidates=candidates,
+                    **(handle.agent_kwargs or {}),
                 )
                 handle.agent.start()
             elif handle.mode == "rlm":

@@ -1,0 +1,44 @@
+"""Fault injection: declarative, scheduler-driven failure scenarios.
+
+The paper's whole premise is operation over an unreliable network — control
+messages "could be lost due to congestion", receivers fall back to unilateral
+decisions, and the controller acts on stale information.  This package turns
+those degradation paths from latent code into exercised behaviour:
+
+* :class:`~repro.faults.plan.FaultPlan` — a declarative list of timed fault
+  events, serialisable to/from plain dicts for replayable chaos runs;
+* :class:`~repro.faults.injectors.FaultInjector` — binds a plan to a
+  :class:`~repro.experiments.scenario.Scenario` and executes events through
+  per-subsystem injectors (:class:`LinkFault`, :class:`NodeFault`,
+  :class:`ControllerFault`, :class:`DiscoveryFault`).
+
+Typical use::
+
+    plan = FaultPlan()
+    plan.crash_controller(20.0)
+    plan.failover_controller(22.0)
+    plan.link_flap(40.0, "core", "agg_a", down_for=3.0, times=2, period=6.0)
+    plan.discovery_outage(60.0, 80.0)
+    injector = plan.apply(scenario)
+    scenario.run(120.0)
+    print(injector.log)        # [(time, kind, detail), ...]
+"""
+
+from .injectors import (
+    ControllerFault,
+    DiscoveryFault,
+    FaultInjector,
+    LinkFault,
+    NodeFault,
+)
+from .plan import FaultEvent, FaultPlan
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "LinkFault",
+    "NodeFault",
+    "ControllerFault",
+    "DiscoveryFault",
+]

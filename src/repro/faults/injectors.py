@@ -1,0 +1,239 @@
+"""Per-subsystem fault injectors and the dispatching :class:`FaultInjector`.
+
+Each injector wraps the minimal mutation of simulator state plus the
+follow-up work the rest of the system needs to observe the fault:
+
+* link/node changes re-run unicast routing and regraft multicast trees
+  (:meth:`~repro.multicast.manager.MulticastManager.on_topology_change`);
+* controller kill/restart/failover manipulates
+  :class:`~repro.control.agent.ControllerAgent` lifecycles;
+* discovery faults flip the :class:`~repro.control.discovery.TopologyDiscovery`
+  fault mode (timeout / truncated trees).
+
+Injectors are deliberately synchronous: they mutate state at the simulated
+instant they are invoked.  Scheduling is the :class:`~repro.faults.plan.FaultPlan`'s
+job.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from ..control.agent import ControllerAgent
+
+__all__ = [
+    "LinkFault",
+    "NodeFault",
+    "ControllerFault",
+    "DiscoveryFault",
+    "FaultInjector",
+]
+
+
+class LinkFault:
+    """Down/up, flapping and capacity degradation for links."""
+
+    def __init__(self, network, mcast):
+        self.network = network
+        self.mcast = mcast
+        # (a, b) -> original bandwidth, for restore() after degrade().
+        self._original_bw = {}
+
+    def _topology_changed(self) -> None:
+        self.network.build_routes()
+        self.mcast.on_topology_change()
+
+    def down(self, a: Any, b: Any, bidirectional: bool = True) -> None:
+        """Fail the link: queued packets dropped, trees regrafted around it
+        (torn down entirely when no alternate path exists)."""
+        self.network.set_link_up(a, b, False, bidirectional=bidirectional)
+        self._topology_changed()
+
+    def up(self, a: Any, b: Any, bidirectional: bool = True) -> None:
+        """Repair the link and regraft severed branches through it."""
+        self.network.set_link_up(a, b, True, bidirectional=bidirectional)
+        self._topology_changed()
+
+    def degrade(self, a: Any, b: Any, factor: float, bidirectional: bool = True) -> None:
+        """Scale the link's capacity by ``factor`` (e.g. 0.25 = quarter rate)."""
+        if not 0 < factor:
+            raise ValueError(f"factor must be positive, got {factor}")
+        link = self.network.link(a, b)
+        self._original_bw.setdefault((a, b), link.bandwidth)
+        self.network.set_link_bandwidth(
+            a, b, link.bandwidth * factor, bidirectional=bidirectional
+        )
+
+    def restore(self, a: Any, b: Any, bidirectional: bool = True) -> None:
+        """Undo :meth:`degrade` (no-op if the link was never degraded)."""
+        original = self._original_bw.pop((a, b), None)
+        if original is not None:
+            self.network.set_link_bandwidth(a, b, original, bidirectional=bidirectional)
+
+
+class NodeFault:
+    """Crash/recover whole nodes (router or host)."""
+
+    def __init__(self, network, mcast):
+        self.network = network
+        self.mcast = mcast
+
+    def crash(self, name: Any) -> None:
+        """Fail the node: bound ports, forwarding state and all incident
+        links (with their queued packets) are lost."""
+        self.network.set_node_up(name, False)
+        self.network.build_routes()
+        self.mcast.on_topology_change()
+
+    def recover(self, name: Any) -> None:
+        """Bring the node back; multicast branches through it regraft, and
+        surviving applications re-bind ports via their re-register paths."""
+        self.network.set_node_up(name, True)
+        self.network.build_routes()
+        self.mcast.on_topology_change()
+
+
+class ControllerFault:
+    """Kill/restart controller agents, optionally failing over to a standby.
+
+    Operates on a :class:`~repro.experiments.scenario.Scenario` so that a
+    failover can re-point the scenario's controller registry at the standby
+    (receivers find it through their candidate rotation; see
+    ``ReceiverAgent.controller_candidates``).
+    """
+
+    def __init__(self, scenario):
+        self.scenario = scenario
+        #: name -> the killed primary (kept for restart()).
+        self._killed = {}
+
+    def kill(self, name: str = "default") -> None:
+        """Stop the named controller (process crash: port unbound, ticks end,
+        learned registrations/reports retained only in the dead process)."""
+        controller = self.scenario.controllers[name]
+        controller.stop()
+        self._killed[name] = controller
+
+    def restart(self, name: str = "default") -> None:
+        """Restart the previously killed controller in place (warm restart:
+        it still holds its registration table)."""
+        controller = self._killed.pop(name, None) or self.scenario.controllers[name]
+        controller.start()
+
+    def failover(self, name: str = "default", cold: bool = True) -> ControllerAgent:
+        """Promote the standby node for ``name`` to be the active controller.
+
+        Builds a fresh :class:`ControllerAgent` on the standby node sharing
+        the primary's discovery tool and algorithm, and replaces the
+        scenario's registry entry so subsequent queries see the standby.
+        With ``cold`` (default) the standby starts with empty registration
+        state and must re-learn its receivers from their re-registrations —
+        the degradation path the chaos scenario exercises.
+        """
+        primary = self.scenario.controllers[name]
+        if primary.active:
+            primary.stop()
+        standby_node = self.scenario.standby_node(name)
+        if standby_node is None:
+            raise ValueError(f"controller {name!r} has no standby node configured")
+        standby = ControllerAgent(
+            self.scenario.network.node(standby_node),
+            list(self.scenario.sessions.values()),
+            primary.discovery,
+            primary.algorithm,
+            interval=primary.interval,
+            info_staleness=primary.info_staleness,
+            max_tree_age=primary.max_tree_age,
+        )
+        if not cold:
+            standby.registrations.update(primary.registrations)
+        self.scenario.promote_controller(name, standby, standby_node)
+        standby.start()
+        return standby
+
+
+class DiscoveryFault:
+    """Topology-discovery outages: timeouts and truncated answers."""
+
+    def __init__(self, scenario):
+        self.scenario = scenario
+
+    def _discovery(self, name: str):
+        return self.scenario.discoveries[name]
+
+    def blackout(self, name: str = "default") -> None:
+        """Queries raise until :meth:`restore` (tool unreachable/timing out)."""
+        self._discovery(name).set_fault("timeout")
+
+    def truncate(self, name: str = "default", depth: int = 1) -> None:
+        """Queries return trees clipped ``depth`` hops below the root."""
+        self._discovery(name).set_fault("truncate", truncate_depth=depth)
+
+    def restore(self, name: str = "default") -> None:
+        self._discovery(name).clear_fault()
+
+
+class FaultInjector:
+    """Binds the four injectors to one scenario and dispatches plan events.
+
+    Every executed event is appended to :attr:`log` as
+    ``(sim_time, kind, detail)`` so experiments and tests can correlate
+    faults with observed behaviour.
+    """
+
+    def __init__(self, scenario):
+        self.scenario = scenario
+        self.links = LinkFault(scenario.network, scenario.mcast)
+        self.nodes = NodeFault(scenario.network, scenario.mcast)
+        self.controllers = ControllerFault(scenario)
+        self.discovery = DiscoveryFault(scenario)
+        self.log: List[Tuple[float, str, str]] = []
+
+    # ------------------------------------------------------------------
+    def execute(self, kind: str, args: tuple, kwargs: dict) -> None:
+        """Run one fault event now (dispatched from the scheduled plan)."""
+        handler = getattr(self, f"_do_{kind}", None)
+        if handler is None:
+            raise ValueError(f"unknown fault kind {kind!r}")
+        handler(*args, **kwargs)
+        detail = ", ".join(
+            [str(a) for a in args] + [f"{k}={v}" for k, v in sorted(kwargs.items())]
+        )
+        self.log.append((self.scenario.sched.now, kind, detail))
+
+    # -- dispatch targets ----------------------------------------------
+    def _do_link_down(self, a, b, **kw):
+        self.links.down(a, b, **kw)
+
+    def _do_link_up(self, a, b, **kw):
+        self.links.up(a, b, **kw)
+
+    def _do_link_degrade(self, a, b, factor, **kw):
+        self.links.degrade(a, b, factor, **kw)
+
+    def _do_link_restore(self, a, b, **kw):
+        self.links.restore(a, b, **kw)
+
+    def _do_node_crash(self, name):
+        self.nodes.crash(name)
+
+    def _do_node_recover(self, name):
+        self.nodes.recover(name)
+
+    def _do_controller_kill(self, name="default"):
+        self.controllers.kill(name)
+
+    def _do_controller_restart(self, name="default"):
+        self.controllers.restart(name)
+
+    def _do_controller_failover(self, name="default", cold=True):
+        self.controllers.failover(name, cold=cold)
+
+    def _do_discovery_blackout(self, name="default"):
+        self.discovery.blackout(name)
+
+    def _do_discovery_truncate(self, name="default", depth=1):
+        self.discovery.truncate(name, depth=depth)
+
+    def _do_discovery_restore(self, name="default"):
+        self.discovery.restore(name)

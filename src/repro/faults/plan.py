@@ -1,0 +1,252 @@
+"""Declarative fault plans: timed fault events, replayable and serialisable.
+
+A :class:`FaultPlan` is an ordered list of :class:`FaultEvent` records.  It
+knows nothing about the simulator until :meth:`FaultPlan.apply` binds it to a
+scenario: every event is then scheduled on the scenario's event scheduler
+and executed by a :class:`~repro.faults.injectors.FaultInjector` at its
+simulated time.  Plans built from the same arguments therefore replay
+identically — determinism comes from the discrete-event scheduler, exactly
+as for traffic.
+
+Plans round-trip through plain dicts (:meth:`to_dicts` / :meth:`from_dicts`)
+so chaos runs can be stored as JSON and replayed by ``tools/run_chaos.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["FaultEvent", "FaultPlan"]
+
+#: Event kinds understood by :class:`~repro.faults.injectors.FaultInjector`.
+KINDS = (
+    "link_down",
+    "link_up",
+    "link_degrade",
+    "link_restore",
+    "node_crash",
+    "node_recover",
+    "controller_kill",
+    "controller_restart",
+    "controller_failover",
+    "discovery_blackout",
+    "discovery_truncate",
+    "discovery_restore",
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault action (``kind`` names an injector operation)."""
+
+    time: float
+    kind: str
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.time < 0:
+            raise ValueError(f"event time must be >= 0, got {self.time}")
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+
+class FaultPlan:
+    """An ordered collection of fault events with builder conveniences."""
+
+    def __init__(self, events: Optional[Iterable[FaultEvent]] = None):
+        self.events: List[FaultEvent] = sorted(
+            events or [], key=lambda e: (e.time, e.kind)
+        )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, time: float, kind: str, *args: Any, **kwargs: Any) -> "FaultPlan":
+        """Append an event (kept time-sorted); returns self for chaining."""
+        self.events.append(FaultEvent(time, kind, tuple(args), dict(kwargs)))
+        self.events.sort(key=lambda e: (e.time, e.kind))
+        return self
+
+    # -- links ----------------------------------------------------------
+    def link_down(self, time: float, a: Any, b: Any) -> "FaultPlan":
+        return self.add(time, "link_down", a, b)
+
+    def link_up(self, time: float, a: Any, b: Any) -> "FaultPlan":
+        return self.add(time, "link_up", a, b)
+
+    def link_flap(
+        self,
+        time: float,
+        a: Any,
+        b: Any,
+        down_for: float = 2.0,
+        times: int = 2,
+        period: Optional[float] = None,
+    ) -> "FaultPlan":
+        """``times`` down/up cycles starting at ``time``: down for
+        ``down_for`` seconds, one cycle every ``period`` (default
+        ``2 * down_for``) seconds."""
+        if times < 1:
+            raise ValueError("need at least one flap")
+        if down_for <= 0:
+            raise ValueError("down_for must be positive")
+        period = 2.0 * down_for if period is None else period
+        if period < down_for:
+            raise ValueError("period must cover the down time")
+        for i in range(times):
+            t0 = time + i * period
+            self.link_down(t0, a, b)
+            self.link_up(t0 + down_for, a, b)
+        return self
+
+    def degrade_link(self, time: float, a: Any, b: Any, factor: float) -> "FaultPlan":
+        return self.add(time, "link_degrade", a, b, factor)
+
+    def restore_link(self, time: float, a: Any, b: Any) -> "FaultPlan":
+        return self.add(time, "link_restore", a, b)
+
+    # -- nodes ----------------------------------------------------------
+    def crash_node(self, time: float, name: Any) -> "FaultPlan":
+        return self.add(time, "node_crash", name)
+
+    def recover_node(self, time: float, name: Any) -> "FaultPlan":
+        return self.add(time, "node_recover", name)
+
+    # -- controller -----------------------------------------------------
+    def crash_controller(self, time: float, name: str = "default") -> "FaultPlan":
+        return self.add(time, "controller_kill", name=name)
+
+    def restart_controller(self, time: float, name: str = "default") -> "FaultPlan":
+        return self.add(time, "controller_restart", name=name)
+
+    def failover_controller(
+        self, time: float, name: str = "default", cold: bool = True
+    ) -> "FaultPlan":
+        return self.add(time, "controller_failover", name=name, cold=cold)
+
+    # -- discovery ------------------------------------------------------
+    def discovery_outage(
+        self,
+        start: float,
+        end: float,
+        name: str = "default",
+        mode: str = "timeout",
+        depth: int = 1,
+    ) -> "FaultPlan":
+        """Discovery fails over ``[start, end)``: ``mode="timeout"`` makes
+        queries raise, ``mode="truncate"`` clips trees to ``depth`` hops."""
+        if end <= start:
+            raise ValueError("need end > start")
+        if mode == "timeout":
+            self.add(start, "discovery_blackout", name=name)
+        elif mode == "truncate":
+            self.add(start, "discovery_truncate", name=name, depth=depth)
+        else:
+            raise ValueError(f"unknown discovery outage mode {mode!r}")
+        return self.add(end, "discovery_restore", name=name)
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+    def apply(self, scenario, injector=None):
+        """Schedule every event on ``scenario``'s scheduler.
+
+        Returns the bound :class:`~repro.faults.injectors.FaultInjector`
+        (pass one in to accumulate a shared log across plans).  Events in
+        the past relative to the scenario clock are rejected — apply the
+        plan before running.
+        """
+        from .injectors import FaultInjector  # local import: avoid cycle
+
+        if injector is None:
+            injector = FaultInjector(scenario)
+        now = scenario.sched.now
+        for ev in self.events:
+            if ev.time < now:
+                raise ValueError(
+                    f"fault event at t={ev.time} is in the past (now={now})"
+                )
+            scenario.sched.at(ev.time, injector.execute, ev.kind, ev.args, ev.kwargs)
+        return injector
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dicts(self) -> List[dict]:
+        """Plain-dict form (JSON-friendly) for storage/replay."""
+        return [
+            {"time": ev.time, "kind": ev.kind, "args": list(ev.args),
+             "kwargs": dict(ev.kwargs)}
+            for ev in self.events
+        ]
+
+    @classmethod
+    def from_dicts(cls, rows: Iterable[dict]) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dicts` output."""
+        return cls(
+            FaultEvent(
+                float(row["time"]),
+                row["kind"],
+                tuple(row.get("args", ())),
+                dict(row.get("kwargs", {})),
+            )
+            for row in rows
+        )
+
+    # ------------------------------------------------------------------
+    #: clearing kind -> kinds that re-break the same target.
+    _BREAKERS = {
+        "link_up": ("link_down",),
+        "link_restore": ("link_degrade",),
+        "node_recover": ("node_crash",),
+        "controller_restart": ("controller_kill",),
+        "controller_failover": ("controller_kill",),
+        "discovery_restore": ("discovery_blackout", "discovery_truncate"),
+    }
+
+    @staticmethod
+    def _target(ev: FaultEvent):
+        """The entity an event acts on (link endpoints / node / name)."""
+        if ev.kind.startswith("link"):
+            return tuple(ev.args[:2])
+        if ev.args:
+            return ev.args[0]
+        return ev.kwargs.get("name", "default")
+
+    def clear_times(self, final_only: bool = True) -> List[float]:
+        """Times at which an injected fault is cleared (repair events).
+
+        Used by recovery metrics: "recovered within N control intervals of
+        the fault clearing".  A standby takeover counts as clearing the
+        controller crash; degrade/restore pairs clear at the restore.
+
+        With ``final_only`` (default) a clearing event is skipped when a
+        later event in the plan re-breaks the same target — the mid-cycle
+        ``link_up`` of a flap is not a real clear; only the last one is.
+        """
+        times = []
+        for i, ev in enumerate(self.events):
+            breakers = self._BREAKERS.get(ev.kind)
+            if breakers is None:
+                continue
+            if final_only:
+                target = self._target(ev)
+                rebroken = any(
+                    later.kind in breakers and self._target(later) == target
+                    for later in self.events[i + 1 :]
+                )
+                if rebroken:
+                    continue
+            times.append(ev.time)
+        return times
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FaultPlan {len(self.events)} events>"

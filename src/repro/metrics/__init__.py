@@ -1,9 +1,16 @@
 """Evaluation metrics: the paper's relative deviation (§IV), the Fig. 6/7
-stability pair, and supporting fairness indices."""
+stability pair, supporting fairness indices, and fault-recovery measures."""
 
 from .ascii_plot import render_histogram, render_level_timeline, render_series
 from .deviation import mean_relative_deviation, relative_deviation
 from .fairness import bandwidth_shares, jain_index
+from .recovery import (
+    max_suggestion_gap,
+    recovery_report,
+    suggestion_gaps,
+    time_to_level,
+    time_to_suggestion,
+)
 from .stability import subscription_changes, worst_receiver_stability
 
 __all__ = [
@@ -16,4 +23,9 @@ __all__ = [
     "render_level_timeline",
     "render_series",
     "render_histogram",
+    "time_to_suggestion",
+    "time_to_level",
+    "suggestion_gaps",
+    "max_suggestion_gap",
+    "recovery_report",
 ]

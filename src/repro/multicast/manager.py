@@ -165,13 +165,15 @@ class MulticastManager:
             return self.igmp_report_delay
         # Count downstream members below each ancestor; the prune stops at
         # the first ancestor with another active branch (or the source).
-        path = self.network.shortest_path(state.source, member)
+        path = self.network.shortest_path_or_none(state.source, member)
+        if path is None:  # partitioned: the branch is already effectively gone
+            return self.igmp_report_delay
         delay = self.igmp_report_delay
         members_below: Dict[Any, int] = {}
         for m in state.members:
             if m == member:
                 continue
-            for node in self.network.shortest_path(state.source, m):
+            for node in self.network.shortest_path_or_none(state.source, m) or ():
                 members_below[node] = members_below.get(node, 0) + 1
         for i in range(len(path) - 1, 0, -1):
             parent = path[i - 1]
@@ -197,6 +199,30 @@ class MulticastManager:
         self._rebuild(state)
 
     # ------------------------------------------------------------------
+    # Fault reaction
+    # ------------------------------------------------------------------
+    def on_topology_change(self) -> int:
+        """Re-run tree computation for every group after links/nodes changed.
+
+        Dead branches are torn down (members behind a failed link/node stop
+        receiving, their forwarding state is removed) and previously severed
+        branches are regrafted along the new shortest paths.  Returns the
+        number of groups whose tree actually changed.
+
+        Fault injectors call this after :meth:`Network.set_link_up` /
+        :meth:`Network.set_node_up` + ``build_routes()``; membership intent
+        (``desired``/``members``) is deliberately preserved so recovery is
+        automatic.
+        """
+        changed = 0
+        for state in self.groups.values():
+            before = frozenset(state.edges)
+            self._rebuild(state)
+            if frozenset(state.edges) != before:
+                changed += 1
+        return changed
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def members(self, group: int) -> FrozenSet[Any]:
@@ -216,9 +242,16 @@ class MulticastManager:
 
         This is the primitive the (possibly stale) topology-discovery tool is
         built on.  Requesting a time before the group existed returns the
-        empty initial snapshot.
+        empty initial snapshot.  A group with no snapshot history (or an
+        unknown group — e.g. a session registered with a failed-over
+        controller before its source started) yields an empty snapshot
+        rather than raising, so the control plane degrades instead of
+        crashing.
         """
-        history = self._state(group).history
+        state = self.groups.get(group)
+        if state is None or not state.history:
+            return TreeSnapshot(at_time, frozenset(), frozenset())
+        history = state.history
         times = [snap.time for snap in history]
         i = bisect_right(times, at_time) - 1
         return history[max(i, 0)]
@@ -237,7 +270,12 @@ class MulticastManager:
         if member == state.source:
             return self.igmp_report_delay
         tree_nodes = state.tree_nodes()
-        path = self.network.shortest_path(state.source, member)
+        path = self.network.shortest_path_or_none(state.source, member)
+        if path is None:
+            # Unreachable right now: the graft "completes" locally but the
+            # rebuild will not find a path either; the member gets grafted
+            # for real when connectivity returns (on_topology_change).
+            return self.igmp_report_delay
         # Walk from the member up toward the source, accumulating delay until
         # we reach a router already on the tree.
         delay = self.igmp_report_delay
@@ -249,10 +287,17 @@ class MulticastManager:
         return delay
 
     def _rebuild(self, state: GroupState) -> None:
-        """Recompute the tree and (re)install forwarding entries."""
+        """Recompute the tree and (re)install forwarding entries.
+
+        Members with no path from the source (dead link or node on the way)
+        simply contribute no branch: their subtree is torn down now and
+        regrafted by :meth:`on_topology_change` once connectivity returns.
+        """
         new_edges: Set[Edge] = set()
         for member in state.members:
-            path = self.network.shortest_path(state.source, member)
+            path = self.network.shortest_path_or_none(state.source, member)
+            if path is None:
+                continue
             for u, v in zip(path, path[1:]):
                 new_edges.add((u, v))
         if new_edges == state.edges and state.history:

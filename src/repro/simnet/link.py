@@ -126,12 +126,30 @@ class Link:
     def set_down(self) -> None:
         """Take the link down: queued and future packets are dropped."""
         self.up = False
-        while self.queue.pop() is not None:
-            pass
+        stats = self.queue.stats
+        while True:
+            pkt = self.queue.pop()
+            if pkt is None:
+                break
+            # Flushed packets were accepted earlier but never transmitted;
+            # account them as drops so loss metrics see the outage.
+            stats.dequeued -= 1
+            stats.dropped += 1
+            stats.bytes_dropped += pkt.size
 
     def set_up(self) -> None:
         """Bring the link back up."""
         self.up = True
+
+    def set_bandwidth(self, bandwidth: float) -> None:
+        """Change the link capacity (fault injection: degradation/restore).
+
+        Takes effect for the next packet to start serializing; the packet
+        currently on the wire finishes at the old rate.
+        """
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        self.bandwidth = float(bandwidth)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

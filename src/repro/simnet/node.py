@@ -33,13 +33,14 @@ Handler = Callable[[Packet], None]
 class NodeStats:
     """Per-node forwarding counters."""
 
-    __slots__ = ("received", "forwarded", "delivered", "no_route")
+    __slots__ = ("received", "forwarded", "delivered", "no_route", "dropped_dead")
 
     def __init__(self) -> None:
         self.received = 0
         self.forwarded = 0
         self.delivered = 0
         self.no_route = 0
+        self.dropped_dead = 0
 
 
 class Node:
@@ -54,6 +55,7 @@ class Node:
         self.group_handlers: Dict[int, List[Handler]] = {}
         self.port_handlers: Dict[str, Handler] = {}
         self.stats = NodeStats()
+        self.alive = True
 
     # ------------------------------------------------------------------
     # Application attachment
@@ -81,10 +83,39 @@ class Node:
                 del self.group_handlers[group]
 
     # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Fail the node: bound ports, group handlers and forwarding state
+        are lost, and in-flight packets addressed here will be dropped.
+
+        Link state (this node's incident links, their queues, and the routing
+        graph) is managed by :meth:`repro.simnet.topology.Network.set_node_up`,
+        which is the entry point fault injectors use.
+        """
+        self.alive = False
+        self.port_handlers.clear()
+        self.group_handlers.clear()
+        self.mcast_fwd.clear()
+        self.next_hop.clear()
+
+    def recover(self) -> None:
+        """Bring the node back up with empty application/forwarding state.
+
+        Applications must re-bind their ports (the receiver agent's
+        re-registration path does this) and the multicast manager must
+        reinstall forwarding entries (``on_topology_change``).
+        """
+        self.alive = True
+
+    # ------------------------------------------------------------------
     # Forwarding
     # ------------------------------------------------------------------
     def receive(self, pkt: Packet, from_link: Optional["Link"] = None) -> None:
         """Handle a packet arriving from ``from_link`` (None = locally sent)."""
+        if not self.alive:
+            self.stats.dropped_dead += 1
+            return
         self.stats.received += 1
         pkt.hops += 1
         if pkt.group is not None:
@@ -94,6 +125,9 @@ class Node:
 
     def send(self, pkt: Packet) -> None:
         """Originate a packet from an application on this node."""
+        if not self.alive:
+            self.stats.dropped_dead += 1
+            return
         pkt.hops = 0
         if pkt.group is not None:
             self._handle_multicast(pkt, None)

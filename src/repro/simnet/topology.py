@@ -106,6 +106,54 @@ class Network:
         return self.graph.successors(name)
 
     # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def set_link_up(self, a: Any, b: Any, up: bool, bidirectional: bool = True) -> None:
+        """Take the link ``a -> b`` (and ``b -> a``) down or bring it up.
+
+        Besides flipping the :class:`Link` transmit state, the corresponding
+        edge is removed from (or restored to) the routing graph so that
+        :meth:`build_routes` and :meth:`shortest_path` route around the
+        failure.  Callers are expected to follow up with ``build_routes()``
+        and :meth:`repro.multicast.manager.MulticastManager.on_topology_change`
+        — the fault injectors in :mod:`repro.faults` do exactly that.
+        """
+        pairs = [(a, b)] + ([(b, a)] if bidirectional else [])
+        for u, v in pairs:
+            link = self.links.get((u, v))
+            if link is None:
+                raise KeyError(f"unknown link {u!r}->{v!r}")
+            if up:
+                link.set_up()
+                if not self.graph.has_edge(u, v):
+                    self.graph.add_edge(u, v, delay=link.delay, bandwidth=link.bandwidth)
+            else:
+                link.set_down()
+                if self.graph.has_edge(u, v):
+                    self.graph.remove_edge(u, v)
+
+    def set_node_up(self, name: Any, up: bool) -> None:
+        """Crash or recover a node together with all its incident links."""
+        node = self.nodes[name]
+        for (u, v), _link in self.links.items():
+            if u == name or v == name:
+                self.set_link_up(u, v, up, bidirectional=False)
+        if up:
+            node.recover()
+        else:
+            node.crash()
+
+    def set_link_bandwidth(self, a: Any, b: Any, bandwidth: float,
+                           bidirectional: bool = True) -> None:
+        """Change a link's capacity (degradation fault), in both the link
+        object and the routing graph's edge attributes."""
+        pairs = [(a, b)] + ([(b, a)] if bidirectional else [])
+        for u, v in pairs:
+            self.links[(u, v)].set_bandwidth(bandwidth)
+            if self.graph.has_edge(u, v):
+                self.graph.edges[u, v]["bandwidth"] = float(bandwidth)
+
+    # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
     def build_routes(self) -> None:
@@ -126,6 +174,14 @@ class Network:
     def shortest_path(self, a: Any, b: Any) -> list:
         """Delay-weighted shortest path from ``a`` to ``b`` as a node list."""
         return nx.dijkstra_path(self.graph, a, b, weight="delay")
+
+    def shortest_path_or_none(self, a: Any, b: Any) -> Optional[list]:
+        """Like :meth:`shortest_path` but ``None`` when no path exists
+        (partitioned network after link/node failures)."""
+        try:
+            return nx.dijkstra_path(self.graph, a, b, weight="delay")
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            return None
 
     def path_delay(self, a: Any, b: Any) -> float:
         """Sum of propagation delays along the shortest path ``a -> b``."""

@@ -184,3 +184,79 @@ def test_start_twice_is_noop():
     agent.start()
     sched.run(until=5.5)
     assert controller.updates_run == 4  # not doubled
+
+
+class TestGracefulDegradation:
+    def test_orphaned_receiver_goes_unilateral_after_grace(self):
+        # Receiver over-subscribed on a 100 Kb/s link (3 layers = 224 Kb/s)
+        # and the controller never comes up: after ``unilateral_after`` of
+        # never having heard a suggestion, it must shed layers on its own.
+        sched, net, mcast, desc, receiver, controller, agent = build(
+            bandwidth=100e3
+        )
+        receiver.set_level(3)
+        agent.start()  # controller never started
+        sched.run(until=20.0)
+        assert agent.unilateral_drops >= 1
+        assert receiver.level < 3
+
+    def test_no_reregistration_while_controller_healthy(self):
+        sched, net, mcast, desc, receiver, controller, agent = build()
+        agent.reregister_after = 3.0
+        controller.start()
+        agent.start()
+        sched.run(until=30.0)
+        assert agent.reregistrations == 0
+        assert agent.registered
+
+    def test_silence_watchdog_drops_registration(self):
+        sched, net, mcast, desc, receiver, controller, agent = build()
+        agent.reregister_after = 3.0
+        controller.start()
+        agent.start()
+        sched.run(until=5.0)
+        assert agent.registered
+        controller.stop()
+        sched.run(until=15.0)
+        assert agent.reregistrations >= 1
+
+    def test_reregistration_after_controller_restart(self):
+        sched, net, mcast, desc, receiver, controller, agent = build()
+        agent.reregister_after = 3.0
+        controller.start()
+        agent.start()
+        sched.run(until=5.0)
+        controller.stop()
+        sched.run(until=10.0)
+        controller.start()
+        sched.run(until=25.0)
+        assert agent.registered
+        assert agent.reregistrations >= 1
+        # Suggestions resumed after the restart.
+        assert any(t > 10.0 for t in agent.suggestion_times)
+
+    def test_restart_does_not_double_tick(self):
+        sched, net, mcast, desc, receiver, controller, agent = build()
+        controller.start()
+        sched.run(until=5.0)   # ticks at 1.75, 2.75, 3.75, 4.75
+        assert controller.updates_run == 4
+        controller.stop()
+        sched.run(until=8.0)   # stopped: no ticks
+        assert controller.updates_run == 4
+        controller.start()     # new chain: 9.75, 10.75, ... one per interval
+        sched.run(until=15.0)
+        assert controller.updates_run == 4 + 6
+
+    def test_negative_max_tree_age_rejected(self):
+        from repro.baselines.static import StaticController
+        from repro.control.discovery import TopologyDiscovery
+
+        sched = Scheduler()
+        net = Network(sched)
+        net.add_node("a")
+        mcast = MulticastManager(net)
+        disc = TopologyDiscovery(mcast)
+        with pytest.raises(ValueError):
+            ControllerAgent(
+                net.node("a"), [], disc, StaticController(1), max_tree_age=-1.0
+            )

@@ -127,3 +127,49 @@ class TestSessionDescriptor:
     def test_n_layers(self):
         schedule = LayerSchedule(n_layers=2)
         assert SessionDescriptor("S", "src", (1, 2), schedule).n_layers == 2
+
+
+class TestDiscoveryFaults:
+    def test_timeout_mode_raises(self):
+        from repro.control.discovery import DiscoveryUnavailable
+
+        sched, net, mcast, desc = setup()
+        disc = TopologyDiscovery(mcast)
+        mcast.join(desc.groups[0], "r1")
+        sched.run(until=1.0)
+        disc.set_fault("timeout")
+        with pytest.raises(DiscoveryUnavailable):
+            disc.session_tree(desc, {"rcv1": "r1"})
+        assert disc.failed_queries == 1
+        disc.clear_fault()
+        tree = disc.session_tree(desc, {"rcv1": "r1"})
+        assert tree.receivers == {"r1": "rcv1"}
+
+    def test_truncate_mode_clips_tree(self):
+        sched, net, mcast, desc = setup()
+        disc = TopologyDiscovery(mcast)
+        mcast.join(desc.groups[0], "r1")
+        sched.run(until=1.0)
+        disc.set_fault("truncate", truncate_depth=1)
+        tree = disc.session_tree(desc, {"rcv1": "r1"})
+        # Only the first hop below the root survives; r1 (2 hops) vanishes.
+        assert tree.edges == frozenset({("src", "mid")})
+        assert tree.receivers == {}
+        assert disc.failed_queries == 1
+
+    def test_unknown_fault_mode_rejected(self):
+        sched, net, mcast, desc = setup()
+        disc = TopologyDiscovery(mcast)
+        with pytest.raises(ValueError):
+            disc.set_fault("gremlins")
+        with pytest.raises(ValueError):
+            disc.set_fault("truncate", truncate_depth=-1)
+
+    def test_group_without_history_yields_empty_layer(self):
+        # A group that never saw a join has no snapshots; discovery must
+        # degrade to an empty tree, not raise.
+        sched, net, mcast, desc = setup()
+        disc = TopologyDiscovery(mcast)
+        tree = disc.session_tree(desc, {"rcv1": "r1"})
+        assert tree.edges == frozenset()
+        assert tree.receivers == {}

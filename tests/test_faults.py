@@ -1,0 +1,296 @@
+"""Fault injection and graceful degradation: plans, injectors, recovery.
+
+The headline test is :class:`TestChaosAcceptance`: the canonical seeded
+storm (controller crash + cold failover, link flap, discovery blackout)
+must end with every receiver back under controller guidance within three
+control intervals of each fault clearing.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.chaos import (
+    build_chaos_scenario,
+    default_chaos_plan,
+    run_chaos,
+)
+from repro.experiments.scenario import Scenario
+from repro.faults import FaultEvent, FaultInjector, FaultPlan
+from repro.metrics.recovery import (
+    max_suggestion_gap,
+    suggestion_gaps,
+    time_to_suggestion,
+)
+
+
+# ----------------------------------------------------------------------
+# FaultPlan: construction, serialisation, clear-time semantics
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_events_kept_time_sorted(self):
+        plan = FaultPlan()
+        plan.link_down(10.0, "a", "b")
+        plan.crash_controller(5.0)
+        assert [e.time for e in plan] == [5.0, 10.0]
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(-1.0, "link_down")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(1.0, "meteor_strike")
+
+    def test_flap_expands_to_down_up_pairs(self):
+        plan = FaultPlan().link_flap(40.0, "x", "y", down_for=3.0, times=2, period=6.0)
+        kinds = [(e.time, e.kind) for e in plan]
+        assert kinds == [
+            (40.0, "link_down"),
+            (43.0, "link_up"),
+            (46.0, "link_down"),
+            (49.0, "link_up"),
+        ]
+
+    def test_flap_period_must_cover_down_time(self):
+        with pytest.raises(ValueError):
+            FaultPlan().link_flap(0.0, "x", "y", down_for=5.0, period=2.0)
+
+    def test_json_round_trip(self):
+        plan = default_chaos_plan()
+        rows = json.loads(json.dumps(plan.to_dicts()))
+        rebuilt = FaultPlan.from_dicts(rows)
+        assert rebuilt.to_dicts() == plan.to_dicts()
+
+    def test_clear_times_skip_mid_flap_repairs(self):
+        plan = default_chaos_plan()
+        # link_up at 43 is followed by another link_down at 46 on the same
+        # link: only the final repair (49) counts as a clear.
+        assert plan.clear_times() == [22.0, 49.0, 80.0]
+        assert 43.0 in plan.clear_times(final_only=False)
+
+    def test_discovery_outage_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan().discovery_outage(10.0, 5.0)
+        with pytest.raises(ValueError):
+            FaultPlan().discovery_outage(0.0, 5.0, mode="mystery")
+
+    def test_apply_rejects_past_events(self):
+        sc = _line_scenario()
+        sc.run(5.0)
+        plan = FaultPlan().link_down(1.0, "src", "mid")
+        with pytest.raises(ValueError):
+            plan.apply(sc)
+
+
+# ----------------------------------------------------------------------
+# Injectors over a live scenario
+# ----------------------------------------------------------------------
+def _line_scenario(seed=1, access_bw=500e3):
+    """src -- mid -- rcv with one session, controller at src."""
+    sc = Scenario(seed=seed)
+    for n in ("src", "mid", "rcv"):
+        sc.add_node(n)
+    sc.add_link("src", "mid", bandwidth=10e6)
+    sc.add_link("mid", "rcv", bandwidth=access_bw)
+    sess = sc.add_session("src", traffic="cbr")
+    sc.attach_controller("src")
+    sc.add_receiver(sess.session_id, "rcv", receiver_id="R")
+    return sc
+
+
+class TestLinkFault:
+    def test_down_stops_traffic_and_tears_branch(self):
+        sc = _line_scenario()
+        plan = FaultPlan().link_down(10.0, "mid", "rcv")
+        plan.apply(sc)
+        sc.run(20.0)
+        handle = sc.receivers[0]
+        group = sc.sessions[handle.session_id].groups[0]
+        state = sc.mcast.groups[group]
+        # Branch to the now-unreachable member was torn down.
+        assert ("mid", "rcv") not in state.edges
+        before = handle.receiver.total_bytes
+        sc.run(5.0)
+        assert handle.receiver.total_bytes == before  # nothing arrives
+
+    def test_up_regrafts_and_traffic_resumes(self):
+        sc = _line_scenario()
+        plan = FaultPlan().link_down(10.0, "mid", "rcv").link_up(15.0, "mid", "rcv")
+        plan.apply(sc)
+        sc.run(30.0)
+        handle = sc.receivers[0]
+        group = sc.sessions[handle.session_id].groups[0]
+        # Membership intent survived the outage: the branch is regrafted.
+        assert ("mid", "rcv") in sc.mcast.groups[group].edges
+        before = handle.receiver.total_bytes
+        sc.run(5.0)
+        assert handle.receiver.total_bytes > before
+
+    def test_degrade_and_restore(self):
+        sc = _line_scenario()
+        injector = FaultInjector(sc)
+        original = sc.network.link("mid", "rcv").bandwidth
+        injector.links.degrade("mid", "rcv", 0.25)
+        assert sc.network.link("mid", "rcv").bandwidth == pytest.approx(original / 4)
+        injector.links.restore("mid", "rcv")
+        assert sc.network.link("mid", "rcv").bandwidth == pytest.approx(original)
+
+    def test_degrade_rejects_nonpositive_factor(self):
+        sc = _line_scenario()
+        injector = FaultInjector(sc)
+        with pytest.raises(ValueError):
+            injector.links.degrade("mid", "rcv", 0.0)
+
+
+class TestNodeFault:
+    def test_crash_kills_forwarding_and_recover_restores(self):
+        sc = _line_scenario()
+        plan = FaultPlan().crash_node(10.0, "mid").recover_node(15.0, "mid")
+        plan.apply(sc)
+        sc.run(12.0)
+        assert not sc.network.node("mid").alive
+        handle = sc.receivers[0]
+        before = handle.receiver.total_bytes
+        sc.run(2.0)  # still down
+        assert handle.receiver.total_bytes == before
+        sc.run(16.0)  # well past recovery + regraft + re-register
+        assert sc.network.node("mid").alive
+        assert handle.receiver.total_bytes > before
+
+
+class TestControllerFault:
+    def test_crash_then_restart_receiver_reregisters(self):
+        sc = _line_scenario()
+        # Tight silence deadline so the watchdog fires quickly.
+        sc.receivers[0].agent_kwargs = {"reregister_after": 3.0}
+        plan = FaultPlan().crash_controller(10.0).restart_controller(16.0)
+        plan.apply(sc)
+        sc.run(30.0)
+        agent = sc.receivers[0].agent
+        assert agent.reregistrations >= 1
+        assert agent.registered
+        # Suggestions resumed after the restart.
+        assert time_to_suggestion(agent.suggestion_times, 16.0) < 10.0
+
+    def test_failover_promotes_standby(self):
+        sc = Scenario(seed=1)
+        for n in ("src", "mid", "standby", "rcv"):
+            sc.add_node(n)
+        sc.add_link("src", "mid", bandwidth=10e6)
+        sc.add_link("standby", "mid", bandwidth=10e6)
+        sc.add_link("mid", "rcv", bandwidth=500e3)
+        sess = sc.add_session("src", traffic="cbr")
+        sc.attach_controller("src", standby_node="standby")
+        sc.add_receiver(sess.session_id, "rcv", receiver_id="R",
+                        agent_kwargs={"reregister_after": 3.0})
+        primary = sc.controller
+        plan = FaultPlan().crash_controller(10.0).failover_controller(12.0)
+        plan.apply(sc)
+        sc.run(30.0)
+        standby = sc.controller
+        assert standby is not primary
+        assert standby.node.name == "standby"
+        assert not primary.active and standby.active
+        # Cold standby re-learned the receiver from its re-registration.
+        assert (sess.session_id, "R") in standby.registrations
+        agent = sc.receivers[0].agent
+        assert agent.controller_node == "standby"
+        assert time_to_suggestion(agent.suggestion_times, 12.0) < 10.0
+
+    def test_failover_without_standby_raises(self):
+        sc = _line_scenario()
+        injector = FaultInjector(sc)
+        with pytest.raises(ValueError):
+            injector.controllers.failover()
+
+
+class TestDiscoveryFault:
+    def test_blackout_served_from_last_known_good(self):
+        sc = _line_scenario()
+        plan = FaultPlan().discovery_outage(10.0, 20.0)
+        plan.apply(sc)
+        sc.run(19.0)
+        ctl = sc.controller
+        assert ctl.discovery_failures > 0
+        # Cached tree (age bound 30 s) kept every tick serviceable.
+        assert ctl.sessions_skipped == 0
+        agent = sc.receivers[0].agent
+        assert max_suggestion_gap(agent.suggestion_times, 8.0, 19.0) < 5.0
+
+    def test_blackout_beyond_tree_age_skips_sessions(self):
+        sc = _line_scenario()
+        sc.controller.max_tree_age = 4.0
+        plan = FaultPlan().discovery_outage(10.0, 30.0)
+        plan.apply(sc)
+        sc.run(29.0)
+        assert sc.controller.sessions_skipped > 0
+
+
+# ----------------------------------------------------------------------
+# Registration backoff
+# ----------------------------------------------------------------------
+class TestRegisterBackoff:
+    def test_retry_spacing_grows_exponentially_to_cap(self):
+        sc = _line_scenario()
+        # Kill the controller the instant it starts: nobody ever listens,
+        # so the agent keeps retrying forever.
+        FaultPlan().crash_controller(0.0).apply(sc)
+        sc.run(40.0)
+        agent = sc.receivers[0].agent
+        assert not agent.registered
+        assert agent.register_attempts >= 6  # round of 5 + cooled-off restart
+        # A full round spans backoff * (2^5 - 1) plus the cool-off, far more
+        # than retries-at-fixed-backoff would: attempts are not equally
+        # spaced.  With jitter <= 25 %, attempts within 40 s stay bounded.
+        max_attempts = 40.0 / (0.75 * agent.register_backoff)
+        assert agent.register_attempts < max_attempts
+
+
+# ----------------------------------------------------------------------
+# Recovery metric helpers
+# ----------------------------------------------------------------------
+class TestRecoveryMetrics:
+    def test_time_to_suggestion(self):
+        assert time_to_suggestion([1.0, 5.0, 9.0], 4.0) == pytest.approx(1.0)
+        assert time_to_suggestion([1.0], 4.0) == float("inf")
+
+    def test_suggestion_gaps_include_edges(self):
+        gaps = suggestion_gaps([2.0, 6.0], 0.0, 10.0)
+        assert gaps == [2.0, 4.0, 4.0]
+        assert max_suggestion_gap([], 0.0, 10.0) == 10.0
+
+    def test_gap_window_validated(self):
+        with pytest.raises(ValueError):
+            suggestion_gaps([1.0], 5.0, 5.0)
+
+
+# ----------------------------------------------------------------------
+# The acceptance storm
+# ----------------------------------------------------------------------
+class TestChaosAcceptance:
+    def test_seeded_storm_recovers_within_three_intervals(self):
+        result = run_chaos(seed=1, duration=120.0)
+        # Controller crash cleared by the failover at 22, the flap by the
+        # final link_up at 49, the discovery blackout at 80.
+        assert result["clear_times"] == [22.0, 49.0, 80.0]
+        assert result["ok"], result
+        for rid, r in result["receivers"].items():
+            for entry in r["recovery"]["per_fault"]:
+                assert entry["t_suggestion"] <= result["recover_within"], (
+                    rid, entry,
+                )
+
+    def test_storm_is_deterministic(self):
+        a = json.dumps(run_chaos(seed=1, duration=60.0), sort_keys=True)
+        b = json.dumps(run_chaos(seed=1, duration=60.0), sort_keys=True)
+        assert a == b
+
+    def test_fault_log_matches_plan(self):
+        sc = build_chaos_scenario(seed=1)
+        plan = default_chaos_plan()
+        injector = plan.apply(sc)
+        sc.run(90.0)
+        assert [(t, kind) for t, kind, _ in injector.log] == [
+            (e.time, e.kind) for e in plan
+        ]

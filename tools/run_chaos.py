@@ -1,0 +1,78 @@
+"""Replay a fault plan against the chaos scenario, deterministically.
+
+The default run is exactly ``python -m repro chaos --seed 1``; this tool adds
+plan round-tripping for chaos-as-regression-test workflows:
+
+    # run the canonical storm and save the plan it used
+    python tools/run_chaos.py --seed 1 --save-plan storm.json
+
+    # replay the saved plan (bit-identical result for the same seed)
+    python tools/run_chaos.py --seed 1 --plan storm.json
+
+    # machine-readable output for CI
+    python tools/run_chaos.py --seed 1 --json > result.json
+
+Exits non-zero when any receiver misses the recovery bound, so CI can gate
+on it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.chaos import (  # noqa: E402
+    DEFAULT_DURATION,
+    default_chaos_plan,
+    render_chaos_report,
+    run_chaos,
+)
+from repro.faults import FaultPlan  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--duration", type=float, default=DEFAULT_DURATION)
+    parser.add_argument("--receivers", type=int, default=4)
+    parser.add_argument("--plan", type=str, default=None,
+                        help="JSON fault plan to replay (default: canonical storm)")
+    parser.add_argument("--save-plan", type=str, default=None,
+                        help="write the plan that was used to this JSON file")
+    parser.add_argument("--recover-intervals", type=float, default=3.0)
+    parser.add_argument("--json", action="store_true", help="emit the full result as JSON")
+    args = parser.parse_args(argv)
+
+    if args.plan:
+        try:
+            with open(args.plan) as fh:
+                plan = FaultPlan.from_dicts(json.load(fh))
+        except (OSError, ValueError, KeyError) as exc:
+            parser.error(f"cannot load fault plan {args.plan!r}: {exc}")
+    else:
+        plan = default_chaos_plan()
+
+    if args.save_plan:
+        with open(args.save_plan, "w") as fh:
+            json.dump(plan.to_dicts(), fh, indent=2)
+
+    result = run_chaos(
+        seed=args.seed,
+        duration=args.duration,
+        n_receivers=args.receivers,
+        plan=plan,
+        recover_intervals=args.recover_intervals,
+    )
+    if args.json:
+        print(json.dumps(result, indent=2, default=str))
+    else:
+        print(render_chaos_report(result))
+    return 0 if result["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
