@@ -6,6 +6,7 @@ Usage::
     python -m repro fig7 | fig8 | fig9 | fig10 | table1
     python -m repro demo --topology a --receivers 4 --traffic vbr --peak 3
     python -m repro chaos --seed 1 [--plan faults.json] [--json]
+    python -m repro byzantine --seed 1 [--attack-start 30] [--json]
 
 ``REPRO_FULL=1`` switches every experiment to the paper's 1200 s horizon.
 """
@@ -131,6 +132,31 @@ def _cmd_chaos(args) -> None:
         sys.exit(1)
 
 
+def _cmd_byzantine(args) -> None:
+    from .experiments.byzantine import (
+        DEFAULT_DURATION,
+        render_byzantine_report,
+        run_byzantine,
+    )
+
+    try:
+        result = run_byzantine(
+            seed=args.seed,
+            duration=args.duration or DEFAULT_DURATION,
+            attack_start=args.attack_start,
+            quarantine_intervals=args.quarantine_intervals,
+            divergence_budget=args.divergence_budget,
+        )
+    except ValueError as exc:
+        sys.exit(f"byzantine: {exc}")
+    if args.json:
+        print(json.dumps(result, indent=2, default=str))
+    else:
+        print(render_byzantine_report(result))
+    if not result["ok"]:
+        sys.exit(1)
+
+
 def _cmd_demo(args) -> None:
     if args.topology == "a":
         sc = build_topology_a(
@@ -190,6 +216,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     chaos.add_argument("--recover-intervals", type=float, default=3.0,
                        help="recovery bound, in control intervals (default 3)")
     chaos.set_defaults(fn=_cmd_chaos)
+
+    byz = sub.add_parser(
+        "byzantine",
+        help="lying receivers vs the report guard, judged against a "
+             "same-seed no-attack baseline",
+    )
+    common(byz)
+    byz.add_argument("--attack-start", type=float, default=30.0,
+                     help="simulated time the liars switch on (default 30)")
+    byz.add_argument("--quarantine-intervals", type=float, default=5.0,
+                     help="quarantine deadline, in control intervals (default 5)")
+    byz.add_argument("--divergence-budget", type=float, default=1.0,
+                     help="allowed honest-receiver level divergence vs "
+                          "baseline (default 1 layer)")
+    byz.set_defaults(fn=_cmd_byzantine)
 
     demo = sub.add_parser("demo", help="run one scenario and print a summary")
     common(demo)

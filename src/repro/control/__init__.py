@@ -1,10 +1,12 @@
 """Controller-agent architecture: session descriptors, wire messages,
-topology discovery (with staleness), and the controller/receiver agents.
+topology discovery (with staleness), the controller/receiver agents, and the
+report-validation/quarantine guard.
 """
 
 from .accounting import BillingLedger, UsageRecord
 from .agent import ControllerAgent, ReceiverAgent
 from .discovery import TopologyDiscovery
+from .guard import GuardConfig, ReportGuard
 from .messages import (
     CONTROL_PORT,
     Register,
@@ -26,4 +28,6 @@ __all__ = [
     "Report",
     "Suggestion",
     "CONTROL_PORT",
+    "GuardConfig",
+    "ReportGuard",
 ]

@@ -16,11 +16,30 @@ interval, and obeys arriving suggestions.  If suggestions stop arriving for
 ``unilateral_after`` seconds (lost control traffic), it makes the paper's
 "unilateral decision": drop a layer whenever its own loss rate stays above
 threshold.
+
+Hardening (see :mod:`repro.control.guard`):
+
+* Receivers stamp a strictly increasing ``seq`` on Register/Report; the
+  controller rejects duplicates and reordered stragglers.
+* The controller stamps its ``epoch`` on RegisterAck/Suggestion; receivers
+  fence out messages from a deposed controller (lower epoch than the highest
+  they have seen).
+* Every inbound report passes the :class:`~repro.control.guard.ReportGuard`;
+  quarantined receivers are cut out of the algorithm's inputs, pinned to
+  ``quarantine_level``, and (via :meth:`ControllerAgent.attach_enforcer`)
+  pruned from the upper layer groups at the tree level.
+* Registrations are RTCP-style soft state: a receiver silent for
+  ``registration_ttl_intervals`` control intervals is forgotten entirely.
+
+For adversarial experiments the receiver agent can be turned byzantine
+(:meth:`ReceiverAgent.set_byzantine`): ``lie_high`` inflates reported loss,
+``lie_low`` zeroes it and forges a full-rate byte count, ``disobey`` ignores
+suggestions and climbs a layer per report.  Modes combine with ``+``.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -30,6 +49,7 @@ from ..media.receiver import LayeredReceiver
 from ..simnet.node import Node
 from ..simnet.packet import CONTROL, Packet
 from .discovery import DiscoveryUnavailable, TopologyDiscovery
+from .guard import ReportGuard
 from .messages import (
     CONTROL_PORT,
     REGISTER_SIZE,
@@ -42,7 +62,13 @@ from .messages import (
 )
 from .session import SessionDescriptor
 
-__all__ = ["ControllerAgent", "ReceiverAgent"]
+__all__ = ["ControllerAgent", "ReceiverAgent", "BYZANTINE_MODES"]
+
+#: Recognised byzantine behaviours (combinable with ``+``).
+BYZANTINE_MODES = ("lie_high", "lie_low", "disobey")
+
+#: Enforcer callback: ``(session_id, node, above_level, active)``.
+Enforcer = Callable[[Any, Any, int, bool], None]
 
 
 class ReceiverAgent:
@@ -101,11 +127,34 @@ class ReceiverAgent:
         self.unilateral_drops = 0
         self.register_attempts = 0
         self.reregistrations = 0
+        #: Highest controller epoch seen; acks/suggestions below it are from
+        #: a deposed controller and are fenced out (0 = nothing seen yet).
+        self.controller_epoch = 0
+        self.stale_suggestions_rejected = 0
+        self.invalid_suggestions_rejected = 0
+        #: Active byzantine behaviour (None = honest).  Set by the
+        #: ByzantineReceiverFault injector via :meth:`set_byzantine`.
+        self.byzantine_mode: Optional[str] = None
+        self.lies_told = 0
         self.active = True
         self._started = False
         self._started_at: Optional[float] = None
         self._last_contact: Optional[float] = None
         self._register_ev = None
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    def set_byzantine(self, mode: Optional[str]) -> None:
+        """Switch behaviour: ``"lie_high"``, ``"lie_low"``, ``"disobey"`` or
+        ``+``-joined combinations; None restores honesty."""
+        if mode is not None:
+            for part in mode.split("+"):
+                if part not in BYZANTINE_MODES:
+                    raise ValueError(f"unknown byzantine mode {part!r}")
+        self.byzantine_mode = mode
+
+    def _is(self, mode: str) -> bool:
+        return self.byzantine_mode is not None and mode in self.byzantine_mode.split("+")
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -151,11 +200,13 @@ class ReceiverAgent:
             # configured, alternate targets so a dead primary does not
             # blackhole the whole round.
             self._rotate_controller()
+        self._seq += 1
         msg = Register(
             receiver_id=self.receiver.receiver_id,
             session_id=self.receiver.session_id,
             node=self.node.name,
             port=self.port,
+            seq=self._seq,
         )
         self._send(msg, REGISTER_SIZE)
         self.register_attempts += 1
@@ -211,18 +262,35 @@ class ReceiverAgent:
         # its next tick to have anything to base a suggestion on).
         self._check_controller_silence()
         stats = self.receiver.interval_stats()
+        loss_rate = stats.loss_rate
+        bytes_ = stats.bytes
+        if self._is("disobey") and self.receiver.level < self.receiver.schedule.n_layers:
+            # Grab another layer regardless of what anyone suggested.
+            self.receiver.set_level(self.receiver.level + 1)
+        if self._is("lie_high"):
+            loss_rate = max(loss_rate, 0.5)
+            self.lies_told += 1
+        if self._is("lie_low"):
+            # Claim a loss-free interval at full subscribed rate.
+            loss_rate = 0.0
+            dt = max(stats.t1 - stats.t0, 0.0)
+            bytes_ = self.receiver.schedule.cumulative(self.receiver.level) * dt / 8.0
+            self.lies_told += 1
+        self._seq += 1
         msg = Report(
             receiver_id=self.receiver.receiver_id,
             session_id=self.receiver.session_id,
-            loss_rate=stats.loss_rate,
-            bytes=stats.bytes,
+            loss_rate=loss_rate,
+            bytes=bytes_,
             level=self.receiver.level,
             t0=stats.t0,
             t1=stats.t1,
+            seq=self._seq,
         )
         self._send(msg, REPORT_SIZE)
         self.reports_sent += 1
-        self._maybe_unilateral(stats.loss_rate)
+        if not self._is("disobey"):
+            self._maybe_unilateral(stats.loss_rate)
 
     def _check_controller_silence(self) -> None:
         """Drop a registration the controller has stopped honouring.
@@ -270,27 +338,61 @@ class ReceiverAgent:
             self._candidate_index = self.controller_candidates.index(node)
             self.controller_node = node
 
+    def _admit_epoch(self, epoch: int) -> bool:
+        """Fence out messages from a deposed controller.
+
+        ``epoch == 0`` marks an unfenced (legacy/hand-built) message and is
+        always admitted; otherwise anything below the highest epoch seen is
+        stale and rejected."""
+        if epoch == 0:
+            return True
+        if epoch < self.controller_epoch:
+            self.stale_suggestions_rejected += 1
+            return False
+        self.controller_epoch = epoch
+        return True
+
     def _on_packet(self, pkt: Packet) -> None:
         msg = pkt.payload
         if isinstance(msg, RegisterAck):
+            if (
+                msg.receiver_id != self.receiver.receiver_id
+                or msg.session_id != self.receiver.session_id
+            ):
+                self.invalid_suggestions_rejected += 1
+                return
+            if not self._admit_epoch(msg.epoch):
+                return
             self.registered = True
             self._last_contact = self.sched.now
             self._sync_controller(pkt.src)
         elif isinstance(msg, Suggestion):
+            if (
+                msg.receiver_id != self.receiver.receiver_id
+                or msg.session_id != self.receiver.session_id
+                or not isinstance(msg.level, int)
+                or isinstance(msg.level, bool)
+                or not 0 <= msg.level <= self.receiver.schedule.n_layers
+            ):
+                self.invalid_suggestions_rejected += 1
+                return
+            if not self._admit_epoch(msg.epoch):
+                return
             self.last_suggestion_at = self.sched.now
             self._last_contact = self.sched.now
             self._sync_controller(pkt.src)
             self.suggestions_received += 1
             self.suggestion_times.append(self.sched.now)
-            if 0 <= msg.level <= self.receiver.schedule.n_layers:
-                # Layers are added one at a time (paper §V: a large layer
-                # count "can delay convergence since layers are added one at
-                # a time"); downward moves apply immediately.
-                current = self.receiver.level
-                if msg.level > current:
-                    self.receiver.set_level(current + 1)
-                else:
-                    self.receiver.set_level(msg.level)
+            if self._is("disobey"):
+                return  # heard, counted, ignored
+            # Layers are added one at a time (paper §V: a large layer
+            # count "can delay convergence since layers are added one at
+            # a time"); downward moves apply immediately.
+            current = self.receiver.level
+            if msg.level > current:
+                self.receiver.set_level(current + 1)
+            else:
+                self.receiver.set_level(msg.level)
 
 
 class ControllerAgent:
@@ -305,6 +407,10 @@ class ControllerAgent:
         interval: float = 2.0,
         info_staleness: float = 0.0,
         max_tree_age: Optional[float] = 30.0,
+        guard: Optional[ReportGuard] = None,
+        initial_epoch: int = 0,
+        registration_ttl_intervals: Optional[float] = 10.0,
+        quarantine_level: int = 1,
     ):
         if interval <= 0:
             raise ValueError("interval must be positive")
@@ -312,6 +418,12 @@ class ControllerAgent:
             raise ValueError("info_staleness must be >= 0")
         if max_tree_age is not None and max_tree_age < 0:
             raise ValueError("max_tree_age must be >= 0 (or None for unbounded)")
+        if initial_epoch < 0:
+            raise ValueError("initial_epoch must be >= 0")
+        if registration_ttl_intervals is not None and registration_ttl_intervals <= 0:
+            raise ValueError("registration_ttl_intervals must be positive (or None)")
+        if quarantine_level < 0:
+            raise ValueError("quarantine_level must be >= 0")
         self.node = node
         self.sched = node.sched
         self.sessions = {s.session_id: s for s in sessions}
@@ -327,6 +439,14 @@ class ControllerAgent:
         #: this old (``None`` = serve it forever).  Sessions beyond the bound
         #: are skipped for the tick rather than acted on blindly.
         self.max_tree_age = max_tree_age
+        #: Report validation/quarantine layer (always present; pass a guard
+        #: with a custom :class:`~repro.control.guard.GuardConfig` to tune).
+        self.guard = guard if guard is not None else ReportGuard()
+        #: Registrations are soft state: a receiver silent for this many
+        #: control intervals is dropped entirely (None disables expiry).
+        self.registration_ttl_intervals = registration_ttl_intervals
+        #: Level quarantined receivers are pinned to (and pruned above).
+        self.quarantine_level = quarantine_level
         # (session_id, receiver_id) -> registration info
         self.registrations: Dict[tuple, Register] = {}
         # (session_id, receiver_id) -> latest Report (ignoring staleness)
@@ -335,19 +455,30 @@ class ControllerAgent:
         self._report_history: Dict[tuple, List[tuple]] = {}
         # session_id -> (discovered_at, tree): last-known-good discovery
         self._last_good_trees: Dict[Any, tuple] = {}
+        # (session_id, receiver_id) -> time of last accepted control message
+        self._last_heard: Dict[tuple, float] = {}
+        # (session_id, receiver_id) -> last suggested level (disobedience ref)
+        self._last_suggested: Dict[tuple, int] = {}
         self.reports_received = 0
         self.suggestions_sent = 0
         self.updates_run = 0
         self.discovery_failures = 0
         self.sessions_skipped = 0
+        self.registrations_expired = 0
         self.last_suggestions: Optional[SuggestionSet] = None
         #: Optional usage/billing ledger fed with every incoming report.
         self.ledger = None
+        #: Optional tree-level quarantine hook (see :meth:`attach_enforcer`).
+        self._enforcer: Optional[Enforcer] = None
         self._started = False
         self.active = False
-        # Restart generation: a stale tick chain from before a stop()/start()
-        # cycle sees a newer epoch and dies instead of double-ticking.
-        self._epoch = 0
+        #: Fencing token stamped on every RegisterAck/Suggestion, bumped on
+        #: each (re)start; a standby created for failover starts above its
+        #: predecessor so receivers reject the deposed primary's messages.
+        #: Doubles as the restart generation: a stale tick chain from before
+        #: a stop()/start() cycle sees a newer epoch and dies instead of
+        #: double-ticking.
+        self.epoch = initial_epoch
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -362,13 +493,13 @@ class ControllerAgent:
             return
         self._started = True
         self.active = True
-        self._epoch += 1
+        self.epoch += 1
         if CONTROL_PORT not in self.node.port_handlers:
             self.node.bind_port(CONTROL_PORT, self._on_packet)
         self.sched.every(
             self.interval,
             self._tick,
-            self._epoch,
+            self.epoch,
             start=self.sched.now + 1.75 * self.interval,
         )
 
@@ -386,11 +517,27 @@ class ControllerAgent:
         self.node.unbind_port(CONTROL_PORT)
 
     def clear_state(self) -> None:
-        """Forget all learned state (a cold-started replacement controller)."""
+        """Forget all learned state (a cold-started replacement controller).
+
+        Clears the registration/report tables, the cached trees, the last
+        suggestion set, the guard's per-receiver records and every per-run
+        counter — a standby must neither serve nor report its predecessor's
+        state.  The epoch is *not* reset: fencing tokens only move forward.
+        """
         self.registrations.clear()
         self.latest_reports.clear()
         self._report_history.clear()
         self._last_good_trees.clear()
+        self._last_heard.clear()
+        self._last_suggested.clear()
+        self.guard.reset()
+        self.last_suggestions = None
+        self.reports_received = 0
+        self.suggestions_sent = 0
+        self.updates_run = 0
+        self.discovery_failures = 0
+        self.sessions_skipped = 0
+        self.registrations_expired = 0
 
     def add_session(self, descriptor: SessionDescriptor) -> None:
         """Register an additional session to manage."""
@@ -400,16 +547,51 @@ class ControllerAgent:
         """Feed every incoming report into ``ledger`` (billing, paper §II)."""
         self.ledger = ledger
 
+    def attach_enforcer(self, enforcer: Optional[Enforcer]) -> None:
+        """Install the tree-level quarantine hook.
+
+        Called as ``enforcer(session_id, node, above_level, active)`` when a
+        receiver's quarantine begins (``active=True``) or ends.  The scenario
+        wires this to :meth:`repro.multicast.manager.MulticastManager.set_blocked`
+        so a quarantined (possibly disobedient) receiver is physically pruned
+        from every layer group above ``above_level`` — suggestions alone
+        cannot restrain a receiver that ignores them.
+        """
+        self._enforcer = enforcer
+
     # ------------------------------------------------------------------
     def _on_packet(self, pkt: Packet) -> None:
         msg = pkt.payload
         if isinstance(msg, Register):
-            self.registrations[(msg.session_id, msg.receiver_id)] = msg
-            ack = RegisterAck(receiver_id=msg.receiver_id, session_id=msg.session_id)
+            key = (msg.session_id, msg.receiver_id)
+            reason = self.guard.admit_register(
+                key, msg, known_session=msg.session_id in self.sessions
+            )
+            if reason is not None:
+                return
+            self.registrations[key] = msg
+            self._last_heard[key] = self.sched.now
+            ack = RegisterAck(
+                receiver_id=msg.receiver_id,
+                session_id=msg.session_id,
+                epoch=self.epoch,
+            )
             self._send_to(msg.node, msg.port, ack, REGISTER_SIZE)
         elif isinstance(msg, Report):
             key = (msg.session_id, msg.receiver_id)
+            descriptor = self.sessions.get(msg.session_id)
+            reason = self.guard.admit_report(
+                key,
+                msg,
+                descriptor.schedule if descriptor is not None else None,
+                registered=key in self.registrations,
+                now=self.sched.now,
+                last_suggestion=self._last_suggested.get(key),
+            )
+            if reason is not None:
+                return
             self.latest_reports[key] = msg
+            self._last_heard[key] = self.sched.now
             self.reports_received += 1
             if self.ledger is not None:
                 self.ledger.record(msg)
@@ -418,6 +600,8 @@ class ControllerAgent:
             # Bound memory: keep enough to cover any plausible staleness.
             if len(history) > 64:
                 del history[: len(history) - 64]
+        else:
+            self.guard.note_malformed()
 
     def _send_to(self, node_name: Any, port: str, msg: Any, size: int) -> None:
         self.node.send(
@@ -465,13 +649,47 @@ class ControllerAgent:
         self._last_good_trees[descriptor.session_id] = (now, tree)
         return tree
 
+    def _expire_registrations(self, now: float) -> None:
+        """Drop soft state for receivers we have not heard from in a while."""
+        if self.registration_ttl_intervals is None:
+            return
+        ttl = self.registration_ttl_intervals * self.interval
+        for key in list(self.registrations):
+            last = self._last_heard.get(key)
+            if last is not None and now - last <= ttl:
+                continue
+            reg = self.registrations.pop(key)
+            self.latest_reports.pop(key, None)
+            self._report_history.pop(key, None)
+            self._last_heard.pop(key, None)
+            self._last_suggested.pop(key, None)
+            if self.guard.is_quarantined(key) and self._enforcer is not None:
+                # Lift the tree-level block: the departed receiver's node may
+                # be reused by an honest successor.
+                self._enforcer(key[0], reg.node, self.quarantine_level, False)
+            self.guard.forget(key)
+            self.registrations_expired += 1
+
+    def _enforce_transitions(self) -> None:
+        """Apply the guard's quarantine/release transitions at tree level."""
+        for key, kind, _when in self.guard.drain_transitions():
+            if self._enforcer is None:
+                continue
+            reg = self.registrations.get(key)
+            if reg is None:
+                continue
+            self._enforcer(key[0], reg.node, self.quarantine_level, kind == "quarantined")
+
     # ------------------------------------------------------------------
     def _tick(self, epoch: Optional[int] = None) -> None:
-        if not self.active or (epoch is not None and epoch != self._epoch):
+        if not self.active or (epoch is not None and epoch != self.epoch):
             raise StopIteration  # stopped (or superseded by a restart)
         now = self.sched.now
+        self._expire_registrations(now)
         cutoff = now - self.info_staleness
         inputs: List[SessionInput] = []
+        audit_trees: Dict[Any, SessionTree] = {}
+        audit_reports: Dict[Any, Dict[tuple, Tuple[Report, float]]] = {}
         for sid, descriptor in self.sessions.items():
             receivers = {
                 rid: reg.node
@@ -482,14 +700,26 @@ class ControllerAgent:
             if tree is None:
                 self.sessions_skipped += 1
                 continue
+            audit_trees[sid] = tree
             reports = {}
             for (s, rid) in self.latest_reports:
                 if s != sid:
                     continue
+                key = (s, rid)
+                history = self._report_history.get(key)
+                if history:
+                    audit_reports.setdefault(sid, {})[key] = (
+                        self.latest_reports[key],
+                        history[-1][0],
+                    )
+                if self.guard.is_quarantined(key):
+                    # Quarantined receivers stay in the tree (and keep being
+                    # audited) but their word no longer reaches the algorithm.
+                    continue
                 rep = (
-                    self.latest_reports[(s, rid)]
+                    self.latest_reports[key]
                     if self.info_staleness == 0.0
-                    else self._report_as_of((s, rid), cutoff)
+                    else self._report_as_of(key, cutoff)
                 )
                 if rep is None:
                     continue
@@ -500,13 +730,41 @@ class ControllerAgent:
                     level=rep.level,
                 )
             inputs.append(SessionInput(tree=tree, schedule=descriptor.schedule, reports=reports))
+        # Sibling-outlier audit + strike decay/rehabilitation, then push any
+        # quarantine transitions down to the multicast trees.
+        self.guard.audit(now, audit_reports, audit_trees, fresh_within=2.5 * self.interval)
+        self._enforce_transitions()
         suggestions = self.algorithm.update(now, inputs)
         self.last_suggestions = suggestions
         self.updates_run += 1
+        suggested_keys = set()
         for (sid, rid), level in suggestions.items():
             reg = self.registrations.get((sid, rid))
             if reg is None:
                 continue
-            msg = Suggestion(receiver_id=rid, session_id=sid, level=level, issued_at=now)
+            if self.guard.is_quarantined((sid, rid)):
+                level = min(level, self.quarantine_level)
+            suggested_keys.add((sid, rid))
+            self._last_suggested[(sid, rid)] = level
+            msg = Suggestion(
+                receiver_id=rid, session_id=sid, level=level,
+                issued_at=now, epoch=self.epoch,
+            )
+            self._send_to(reg.node, reg.port, msg, SUGGESTION_SIZE)
+            self.suggestions_sent += 1
+        # Quarantined receivers the algorithm had nothing to say about are
+        # still pinned down explicitly every tick.
+        for key in self.guard.quarantined_keys():
+            if key in suggested_keys:
+                continue
+            reg = self.registrations.get(key)
+            if reg is None:
+                continue
+            sid, rid = key
+            self._last_suggested[key] = self.quarantine_level
+            msg = Suggestion(
+                receiver_id=rid, session_id=sid, level=self.quarantine_level,
+                issued_at=now, epoch=self.epoch,
+            )
             self._send_to(reg.node, reg.port, msg, SUGGESTION_SIZE)
             self.suggestions_sent += 1

@@ -1,0 +1,406 @@
+"""Report validation and misbehaving-receiver quarantine.
+
+The paper's controller trusts every receiver report.  Loss is the gentlest
+failure of that trust: a duplicated, reordered, corrupted or deliberately
+false ``Report`` flows straight into the six-stage algorithm, and a single
+receiver claiming inflated (or suppressed) loss can drag capacity estimation
+and the min-based internal-loss computation for its whole subtree — the
+receiver-misbehaviour concern of Lucas et al. (2010).
+
+:class:`ReportGuard` sits between the controller agent's packet handler and
+its algorithm.  Every inbound report passes three gates:
+
+1. **Structural validation** — fields must be finite and in range
+   (``loss_rate`` in [0, 1], ``bytes`` >= 0, ``level`` within the session's
+   layer schedule, ``t0 <= t1``) and the sender must be registered.  This is
+   the checksum stand-in: garbled control packets fail here.
+2. **Sequencing** — per-receiver sequence numbers; duplicates and reordered
+   stragglers (``seq <= last seen``) are rejected.  ``seq == 0`` means the
+   sender does not sequence (legacy/tests) and skips the check.
+3. **Behavioural scoring** — accepted reports accrue *strikes* when they are
+   internally inconsistent, disobedient, or persistent outliers against
+   sibling-subtree loss statistics (see below).  Enough strikes quarantine
+   the receiver; clean behaviour decays strikes and eventually rehabilitates
+   a quarantined receiver.
+
+Strike sources
+--------------
+
+* **Inconsistent loss** (per report): the bytes field implies a loss rate
+  (``1 - bytes / expected bytes at the reported level``).  Claiming much
+  *more* loss than the bytes imply is the naive lie-high attack.  Only the
+  over-claim direction is scored — under-claims occur legitimately when a
+  layer was joined mid-interval.
+* **Disobedience** (per report): reporting a subscription level more than
+  ``disobey_margin`` above the last suggestion sent to that receiver.
+  Receivers climb one layer at a time, so an honest receiver can never
+  legitimately exceed its suggestion by more than one.
+* **Under-reporting** (per audit): against receivers under the same parent
+  node of the session tree, claiming *near-zero* loss (below
+  ``low_loss_floor``) while every sibling reports substantial loss (the
+  sibling minimum exceeds the claim by ``outlier_margin``), at or above the
+  siblings' median level.  This is the self-serving lie-low/freerider
+  attack.  Three guards against framing honest receivers are deliberate:
+  the *minimum* (a lie-high sibling inflates any average but cannot raise
+  the minimum past another honest sibling), the *level gate* (subscribing
+  fewer layers is a legitimate reason to see less loss), and the
+  *near-zero requirement* — shared-link drops are not spread evenly across
+  subscription levels, so an honest receiver can see a notably smaller loss
+  ratio than its siblings; what it cannot honestly see is none at all.
+
+Quarantined receivers keep reporting and keep being scored — a liar that
+turns honest accrues a clean streak and is released after
+``rehab_intervals`` consecutive clean reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from statistics import median
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+__all__ = ["GuardConfig", "ReportGuard"]
+
+Key = Tuple[Any, Any]  # (session_id, receiver_id)
+
+
+@dataclass
+class GuardConfig:
+    """Tunable thresholds of the report guard."""
+
+    #: Strike when ``claimed_loss - implied_loss`` exceeds this (the bytes
+    #: field contradicts the loss field in the lie-high direction).
+    consistency_tolerance: float = 0.25
+    #: Strike when the sibling minimum loss exceeds the claimed loss by more
+    #: than this (lie-low / under-reporting).
+    outlier_margin: float = 0.15
+    #: ... but only when the claim itself is below this: honest loss ratios
+    #: vary across subscription levels, honest *zero* during shared
+    #: congestion does not happen.
+    low_loss_floor: float = 0.05
+    #: Reported level may exceed the last suggestion by this much before a
+    #: disobedience strike (1 = the legitimate one-layer climb headroom).
+    disobey_margin: int = 1
+    #: Strikes at or above this quarantine the receiver.
+    strike_threshold: float = 3.0
+    #: Strikes shed per audit in which the receiver earned no strike.
+    strike_decay: float = 1.0
+    #: Strikes are capped here so rehabilitation stays reachable.
+    max_strikes: float = 6.0
+    #: Consecutive clean audits needed to release a quarantined receiver.
+    rehab_intervals: int = 8
+    #: Skip the consistency check when the interval's expected volume is
+    #: below this many bits (partial intervals carry no signal).
+    min_expected_bits: float = 8_000.0
+    #: Sibling-outlier audit needs at least this many *other* fresh,
+    #: unquarantined reports under the same parent node.
+    min_siblings: int = 1
+
+    def __post_init__(self) -> None:
+        if self.consistency_tolerance <= 0:
+            raise ValueError("consistency_tolerance must be positive")
+        if self.outlier_margin <= 0:
+            raise ValueError("outlier_margin must be positive")
+        if not 0.0 <= self.low_loss_floor <= 1.0:
+            raise ValueError("low_loss_floor must be in [0, 1]")
+        if self.disobey_margin < 0:
+            raise ValueError("disobey_margin must be >= 0")
+        if self.strike_threshold <= 0:
+            raise ValueError("strike_threshold must be positive")
+        if self.strike_decay < 0:
+            raise ValueError("strike_decay must be >= 0")
+        if self.max_strikes < self.strike_threshold:
+            raise ValueError("max_strikes must be >= strike_threshold")
+        if self.rehab_intervals < 1:
+            raise ValueError("rehab_intervals must be >= 1")
+        if self.min_siblings < 1:
+            raise ValueError("min_siblings must be >= 1")
+
+
+class _ReceiverRecord:
+    """Per-receiver behavioural state."""
+
+    __slots__ = ("strikes", "quarantined_at", "clean_streak", "struck_since_audit")
+
+    def __init__(self) -> None:
+        self.strikes = 0.0
+        self.quarantined_at: Optional[float] = None
+        self.clean_streak = 0
+        self.struck_since_audit = False
+
+
+def _finite_number(x: Any) -> bool:
+    return isinstance(x, (int, float)) and not isinstance(x, bool) and math.isfinite(x)
+
+
+class ReportGuard:
+    """Validates inbound control messages and quarantines liars."""
+
+    def __init__(self, config: Optional[GuardConfig] = None):
+        self.config = config if config is not None else GuardConfig()
+        self._records: Dict[Key, _ReceiverRecord] = {}
+        self._last_seq: Dict[Key, int] = {}
+        #: Rejection reason -> count (duplicates, malformed fields, ...).
+        self.rejections: Dict[str, int] = {}
+        #: Strike reason -> count.
+        self.strike_counts: Dict[str, int] = {}
+        self.quarantines = 0
+        self.releases = 0
+        #: ``(time, kind, key, detail)`` log of strikes and transitions.
+        self.events: List[Tuple[float, str, Key, str]] = []
+        self._pending_transitions: List[Tuple[Key, str, float]] = []
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def admit_register(self, key: Key, msg: Any, *, known_session: bool) -> Optional[str]:
+        """Validate a ``Register``; returns a rejection reason or None."""
+        reason = None
+        if not known_session:
+            reason = "unknown_session"
+        elif msg.receiver_id is None or not isinstance(msg.port, str) or not msg.port:
+            reason = "malformed_register"
+        else:
+            reason = self._check_seq(key, msg.seq)
+        if reason is not None:
+            self._reject(reason)
+        return reason
+
+    def admit_report(
+        self,
+        key: Key,
+        msg: Any,
+        schedule: Any,
+        *,
+        registered: bool,
+        now: float,
+        last_suggestion: Optional[int] = None,
+    ) -> Optional[str]:
+        """Run the full admission pipeline for a ``Report``.
+
+        Returns None when the report is accepted (and scored), otherwise the
+        rejection reason.  ``schedule`` is the session's
+        :class:`~repro.media.layers.LayerSchedule` (None = unknown session).
+        """
+        reason = self._validate_report(msg, schedule, registered)
+        if reason is None:
+            reason = self._check_seq(key, msg.seq)
+        if reason is not None:
+            self._reject(reason)
+            return reason
+        self._score_report(key, msg, schedule, now, last_suggestion)
+        return None
+
+    def note_malformed(self) -> None:
+        """Count a control packet whose payload is not a known message."""
+        self._reject("unknown_payload")
+
+    def _validate_report(self, msg: Any, schedule: Any, registered: bool) -> Optional[str]:
+        if schedule is None:
+            return "unknown_session"
+        if not (_finite_number(msg.loss_rate) and 0.0 <= msg.loss_rate <= 1.0):
+            return "loss_out_of_range"
+        if not (_finite_number(msg.bytes) and msg.bytes >= 0.0):
+            return "bad_bytes"
+        if not (
+            isinstance(msg.level, int)
+            and not isinstance(msg.level, bool)
+            and 0 <= msg.level <= schedule.n_layers
+        ):
+            return "level_out_of_schedule"
+        if not (_finite_number(msg.t0) and _finite_number(msg.t1) and msg.t0 <= msg.t1):
+            return "bad_interval"
+        if not registered:
+            return "unregistered"
+        return None
+
+    def _check_seq(self, key: Key, seq: Any) -> Optional[str]:
+        if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+            return "bad_seq"
+        if seq == 0:  # unsequenced sender
+            return None
+        last = self._last_seq.get(key, 0)
+        if seq <= last:
+            return "stale_seq"
+        self._last_seq[key] = seq
+        return None
+
+    def _reject(self, reason: str) -> None:
+        self.rejections[reason] = self.rejections.get(reason, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Behavioural scoring
+    # ------------------------------------------------------------------
+    def _record(self, key: Key) -> _ReceiverRecord:
+        rec = self._records.get(key)
+        if rec is None:
+            rec = self._records[key] = _ReceiverRecord()
+        return rec
+
+    def _strike(self, key: Key, reason: str, now: float) -> None:
+        cfg = self.config
+        rec = self._record(key)
+        rec.strikes = min(rec.strikes + 1.0, cfg.max_strikes)
+        rec.struck_since_audit = True
+        self.strike_counts[reason] = self.strike_counts.get(reason, 0) + 1
+        self.events.append((now, "strike", key, reason))
+        if rec.quarantined_at is None and rec.strikes >= cfg.strike_threshold:
+            rec.quarantined_at = now
+            rec.clean_streak = 0
+            self.quarantines += 1
+            self.events.append((now, "quarantine", key, reason))
+            self._pending_transitions.append((key, "quarantined", now))
+
+    def _score_report(
+        self,
+        key: Key,
+        msg: Any,
+        schedule: Any,
+        now: float,
+        last_suggestion: Optional[int],
+    ) -> None:
+        cfg = self.config
+        dt = msg.t1 - msg.t0
+        expected_bits = schedule.cumulative(msg.level) * dt
+        if expected_bits >= cfg.min_expected_bits:
+            implied = min(max(1.0 - msg.bytes * 8.0 / expected_bits, 0.0), 1.0)
+            if msg.loss_rate - implied > cfg.consistency_tolerance:
+                self._strike(key, "inconsistent_loss", now)
+        if last_suggestion is not None and msg.level > last_suggestion + cfg.disobey_margin:
+            self._strike(key, "disobedience", now)
+
+    # ------------------------------------------------------------------
+    # Per-tick audit
+    # ------------------------------------------------------------------
+    def audit(
+        self,
+        now: float,
+        session_reports: Dict[Any, Dict[Key, Tuple[Any, float]]],
+        trees: Dict[Any, Any],
+        fresh_within: float,
+    ) -> None:
+        """Run the sibling-outlier pass, then decay/rehabilitate.
+
+        ``session_reports`` maps session id to ``{key: (Report, arrived_at)}``
+        (the controller's latest accepted report per receiver); ``trees``
+        holds the session trees discovered this tick.  Reports older than
+        ``fresh_within`` are ignored entirely — a silent receiver must not be
+        scored against (or contribute to) live sibling statistics.
+        """
+        for sid, tree in trees.items():
+            reports = session_reports.get(sid)
+            if not reports:
+                continue
+            by_parent: Dict[Any, List[Tuple[Key, Any]]] = {}
+            for leaf, rid in tree.receivers.items():
+                key = (sid, rid)
+                entry = reports.get(key)
+                if entry is None:
+                    continue
+                rep, arrived = entry
+                if now - arrived > fresh_within:
+                    continue
+                parent = tree.parent.get(leaf)
+                if parent is None:
+                    continue
+                by_parent.setdefault(parent, []).append((key, rep))
+            for siblings in by_parent.values():
+                if len(siblings) <= self.config.min_siblings:
+                    continue
+                self._audit_siblings(siblings, now)
+        self._settle(now)
+
+    def _audit_siblings(self, siblings: List[Tuple[Key, Any]], now: float) -> None:
+        cfg = self.config
+        for key, rep in siblings:
+            others = [
+                r for k2, r in siblings
+                if k2 != key and not self.is_quarantined(k2)
+            ]
+            if len(others) < cfg.min_siblings:
+                continue
+            # Minimum, not median: a lie-high sibling can inflate an average
+            # and frame honest zero-loss receivers, but cannot raise the
+            # minimum past another honest sibling.
+            floor_loss = min(r.loss_rate for r in others)
+            med_level = median(r.level for r in others)
+            # Level gate: subscribing fewer layers than the siblings is a
+            # legitimate reason to see less loss than they do.  The claim
+            # must also be near-zero in its own right — honest loss ratios
+            # differ across levels, honest "no loss at all" during shared
+            # congestion does not happen.
+            if (
+                rep.level >= med_level
+                and rep.loss_rate < cfg.low_loss_floor
+                and floor_loss - rep.loss_rate > cfg.outlier_margin
+            ):
+                self._strike(key, "under_report", now)
+
+    def _settle(self, now: float) -> None:
+        """Decay clean receivers and release rehabilitated ones."""
+        cfg = self.config
+        for key, rec in self._records.items():
+            if rec.struck_since_audit:
+                rec.struck_since_audit = False
+                rec.clean_streak = 0
+                continue
+            rec.strikes = max(0.0, rec.strikes - cfg.strike_decay)
+            rec.clean_streak += 1
+            if rec.quarantined_at is not None and rec.clean_streak >= cfg.rehab_intervals:
+                rec.quarantined_at = None
+                rec.strikes = 0.0
+                rec.clean_streak = 0
+                self.releases += 1
+                self.events.append((now, "release", key, "rehabilitated"))
+                self._pending_transitions.append((key, "released", now))
+
+    # ------------------------------------------------------------------
+    # Queries / lifecycle
+    # ------------------------------------------------------------------
+    def is_quarantined(self, key: Key) -> bool:
+        rec = self._records.get(key)
+        return rec is not None and rec.quarantined_at is not None
+
+    def quarantined_keys(self) -> Set[Key]:
+        return {k for k, r in self._records.items() if r.quarantined_at is not None}
+
+    def strikes(self, key: Key) -> float:
+        rec = self._records.get(key)
+        return rec.strikes if rec is not None else 0.0
+
+    def drain_transitions(self) -> List[Tuple[Key, str, float]]:
+        """Quarantine/release transitions since the last drain (for the
+        controller's enforcement hook)."""
+        out = self._pending_transitions
+        self._pending_transitions = []
+        return out
+
+    def forget(self, key: Key) -> None:
+        """Drop all state for a departed receiver (registration expiry)."""
+        self._records.pop(key, None)
+        self._last_seq.pop(key, None)
+
+    def reset(self) -> None:
+        """Forget every receiver (cold-started replacement controller).
+
+        Counters and the event log survive — they describe this process's
+        history, not the receivers'.
+        """
+        self._records.clear()
+        self._last_seq.clear()
+        self._pending_transitions.clear()
+
+    def summary(self) -> dict:
+        """JSON-friendly counters for experiment reports."""
+        return {
+            "rejections": dict(self.rejections),
+            "strikes": dict(self.strike_counts),
+            "quarantines": self.quarantines,
+            "releases": self.releases,
+            "quarantined": sorted(map(str, self.quarantined_keys())),
+            "events": [
+                {"time": t, "kind": kind, "key": list(map(str, key)), "detail": detail}
+                for (t, kind, key, detail) in self.events
+            ],
+        }

@@ -7,6 +7,19 @@ to the same drop-tail queues as the media traffic.
 
 Sizes are nominal on-the-wire sizes in bytes (headers included) used for the
 packets carrying each message.
+
+Hardening fields (all default to 0, meaning "absent" for legacy senders):
+
+* ``seq`` on :class:`Register`/:class:`Report` — a per-receiver sequence
+  number shared by both message types, strictly increasing per control
+  message sent.  The controller rejects duplicates and reordered stragglers
+  (``seq <= last seen``); ``seq == 0`` disables the check so hand-built
+  messages in tests and tools keep working.
+* ``epoch`` on :class:`RegisterAck`/:class:`Suggestion` — the controller's
+  fencing token, bumped on every (re)start and advanced past the old
+  primary's on failover.  Receivers reject messages carrying an epoch lower
+  than the highest they have seen, so a deposed controller that comes back
+  cannot steer receivers with stale suggestions.
 """
 
 from __future__ import annotations
@@ -41,6 +54,7 @@ class Register:
     session_id: Any
     node: Any
     port: str  # where suggestions should be sent back
+    seq: int = 0  # per-receiver control sequence number (0 = unsequenced)
 
 
 @dataclass(frozen=True)
@@ -49,6 +63,7 @@ class RegisterAck:
 
     receiver_id: Any
     session_id: Any
+    epoch: int = 0  # controller epoch (fencing token)
 
 
 @dataclass(frozen=True)
@@ -66,6 +81,7 @@ class Report:
     level: int
     t0: float
     t1: float
+    seq: int = 0  # per-receiver control sequence number (0 = unsequenced)
 
 
 @dataclass(frozen=True)
@@ -76,3 +92,4 @@ class Suggestion:
     session_id: Any
     level: int
     issued_at: float
+    epoch: int = 0  # controller epoch (fencing token)

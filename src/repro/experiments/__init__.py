@@ -1,6 +1,7 @@
 """Experiment scaffolding: scenario assembly, the paper's topologies, and
 per-figure experiment drivers."""
 
+from .byzantine import build_byzantine_scenario, default_attack_plan, run_byzantine
 from .chaos import build_chaos_scenario, default_chaos_plan, run_chaos
 from .domains import build_two_domain_topology
 from .scenario import ReceiverHandle, Scenario, ScenarioResult
@@ -19,4 +20,7 @@ __all__ = [
     "build_chaos_scenario",
     "default_chaos_plan",
     "run_chaos",
+    "build_byzantine_scenario",
+    "default_attack_plan",
+    "run_byzantine",
 ]

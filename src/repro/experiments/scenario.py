@@ -227,6 +227,9 @@ class Scenario:
         domain: Optional[set] = None,
         standby_node: Optional[Any] = None,
         max_tree_age: Optional[float] = 30.0,
+        guard: Optional[Any] = None,
+        registration_ttl_intervals: Optional[float] = 10.0,
+        quarantine_level: int = 1,
     ) -> ControllerAgent:
         """Station a controller agent at ``node``.
 
@@ -242,6 +245,12 @@ class Scenario:
         ``standby_node`` names a node a failed controller can fail over to
         (see :class:`~repro.faults.injectors.ControllerFault`); receivers
         are given both addresses as registration candidates.
+
+        ``guard`` / ``registration_ttl_intervals`` / ``quarantine_level``
+        configure the controller's report-validation layer (see
+        :mod:`repro.control.guard`); the controller's quarantine enforcer is
+        wired to this scenario's multicast manager so quarantined receivers
+        are pruned from layer groups above ``quarantine_level``.
         """
         if name in self.controllers:
             raise ValueError(f"controller {name!r} already attached")
@@ -261,7 +270,11 @@ class Scenario:
             interval=interval,
             info_staleness=staleness,
             max_tree_age=max_tree_age,
+            guard=guard,
+            registration_ttl_intervals=registration_ttl_intervals,
+            quarantine_level=quarantine_level,
         )
+        controller.attach_enforcer(self.quarantine_enforcer)
         self.discoveries[name] = discovery
         self.controllers[name] = controller
         self._controller_nodes[name] = node
@@ -270,6 +283,22 @@ class Scenario:
                 raise KeyError(f"unknown standby node {standby_node!r}")
             self._standby_nodes[name] = standby_node
         return controller
+
+    def quarantine_enforcer(
+        self, session_id: Any, node: Any, above_level: int, active: bool
+    ) -> None:
+        """Tree-level quarantine: (un)block ``node`` from every layer group
+        of ``session_id`` above ``above_level``.
+
+        Installed as the controller's enforcer hook — suggestions alone
+        cannot restrain a receiver that ignores them, so the domain's
+        routers stop serving it the upper layers.
+        """
+        descriptor = self.sessions.get(session_id)
+        if descriptor is None:
+            return
+        for group in descriptor.groups[above_level:]:
+            self.mcast.set_blocked(group, node, active)
 
     # -- failover plumbing (used by repro.faults) -----------------------
     def standby_node(self, name: str = "default") -> Optional[Any]:

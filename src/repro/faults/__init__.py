@@ -10,7 +10,8 @@ those degradation paths from latent code into exercised behaviour:
 * :class:`~repro.faults.injectors.FaultInjector` — binds a plan to a
   :class:`~repro.experiments.scenario.Scenario` and executes events through
   per-subsystem injectors (:class:`LinkFault`, :class:`NodeFault`,
-  :class:`ControllerFault`, :class:`DiscoveryFault`).
+  :class:`ControllerFault`, :class:`DiscoveryFault`,
+  :class:`ByzantineReceiverFault`, :class:`PacketCorruptionFault`).
 
 Typical use::
 
@@ -19,17 +20,21 @@ Typical use::
     plan.failover_controller(22.0)
     plan.link_flap(40.0, "core", "agg_a", down_for=3.0, times=2, period=6.0)
     plan.discovery_outage(60.0, 80.0)
+    plan.byzantine(90.0, "r3", "lie_low+disobey")
+    plan.corrupt_control(100.0, "r2", mode="duplicate", rate=0.5)
     injector = plan.apply(scenario)
     scenario.run(120.0)
     print(injector.log)        # [(time, kind, detail), ...]
 """
 
 from .injectors import (
+    ByzantineReceiverFault,
     ControllerFault,
     DiscoveryFault,
     FaultInjector,
     LinkFault,
     NodeFault,
+    PacketCorruptionFault,
 )
 from .plan import FaultEvent, FaultPlan
 
@@ -41,4 +46,6 @@ __all__ = [
     "NodeFault",
     "ControllerFault",
     "DiscoveryFault",
+    "ByzantineReceiverFault",
+    "PacketCorruptionFault",
 ]

@@ -17,15 +17,20 @@ job.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Tuple
+import dataclasses
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..control.agent import ControllerAgent
+from ..control.messages import Register, RegisterAck, Report, Suggestion
+from ..simnet.packet import CONTROL, Packet
 
 __all__ = [
     "LinkFault",
     "NodeFault",
     "ControllerFault",
     "DiscoveryFault",
+    "ByzantineReceiverFault",
+    "PacketCorruptionFault",
     "FaultInjector",
 ]
 
@@ -144,7 +149,14 @@ class ControllerFault:
             interval=primary.interval,
             info_staleness=primary.info_staleness,
             max_tree_age=primary.max_tree_age,
+            # Fencing: start() bumps the epoch once more, so the standby ends
+            # strictly above anything the deposed primary can ever reach even
+            # if the primary is restarted in place afterwards.
+            initial_epoch=primary.epoch + 1,
+            registration_ttl_intervals=primary.registration_ttl_intervals,
+            quarantine_level=primary.quarantine_level,
         )
+        standby.attach_enforcer(primary._enforcer)
         if not cold:
             standby.registrations.update(primary.registrations)
         self.scenario.promote_controller(name, standby, standby_node)
@@ -173,8 +185,140 @@ class DiscoveryFault:
         self._discovery(name).clear_fault()
 
 
+class ByzantineReceiverFault:
+    """Turn receiver agents byzantine (and honest again).
+
+    Flips :attr:`~repro.control.agent.ReceiverAgent.byzantine_mode` on the
+    named receiver's agent: ``lie_high`` inflates reported loss, ``lie_low``
+    zeroes it and forges full-rate byte counts, ``disobey`` ignores
+    suggestions and climbs a layer per report (modes combine with ``+``).
+    The media path is untouched — the receiver misbehaves, the network does
+    not.
+    """
+
+    def __init__(self, scenario):
+        self.scenario = scenario
+
+    def _agent(self, receiver_id: Any):
+        for handle in self.scenario.receivers:
+            if handle.receiver_id == receiver_id:
+                if handle.agent is None or not hasattr(handle.agent, "set_byzantine"):
+                    raise ValueError(
+                        f"receiver {receiver_id!r} has no controllable agent "
+                        "(byzantine faults need mode='controlled' and run())"
+                    )
+                return handle.agent
+        raise KeyError(f"unknown receiver {receiver_id!r}")
+
+    def start(self, receiver_id: Any, mode: str) -> None:
+        """Begin misbehaving as ``mode``."""
+        self._agent(receiver_id).set_byzantine(mode)
+
+    def stop(self, receiver_id: Any) -> None:
+        """Restore honest behaviour."""
+        self._agent(receiver_id).set_byzantine(None)
+
+
+class PacketCorruptionFault:
+    """Duplicate / reorder / garble CONTROL packets originated at a node.
+
+    Wraps the node's ``send`` with a corrupting shim (an instance attribute
+    shadowing the class method); ``restore`` removes the shim and flushes any
+    packet held back by reorder mode.  Only CONTROL packets are touched —
+    this models a flaky control channel, not media corruption — and each is
+    corrupted independently with probability ``rate``:
+
+    * ``duplicate`` — the packet is sent twice (a fresh copy, so per-hop
+      counters stay independent);
+    * ``reorder`` — the packet is held back and sent after the *next*
+      CONTROL packet (swapping adjacent messages, which inverts seq order);
+    * ``garble`` — the control payload's fields are driven out of range, so
+      the receiver-side validation (the checksum stand-in) must reject it.
+    """
+
+    def __init__(self, scenario):
+        self.scenario = scenario
+        # node name -> (mode, rate, rng, held packet or None)
+        self._active: Dict[Any, dict] = {}
+
+    MODES = ("duplicate", "reorder", "garble")
+
+    def corrupt(self, node_name: Any, mode: str = "garble", rate: float = 1.0) -> None:
+        if mode not in self.MODES:
+            raise ValueError(f"unknown corruption mode {mode!r}")
+        if not 0.0 < rate <= 1.0:
+            raise ValueError(f"rate must be in (0, 1], got {rate}")
+        if node_name in self._active:
+            raise ValueError(f"node {node_name!r} is already corrupting")
+        node = self.scenario.network.node(node_name)
+        state = {
+            "mode": mode,
+            "rate": rate,
+            "rng": self.scenario.rngs.fork(f"wirefault/{node_name}"),
+            "held": None,
+            "node": node,
+        }
+        self._active[node_name] = state
+        real_send = type(node).send  # unbound: the shim survives node.crash()
+
+        def corrupted_send(pkt: Packet) -> None:
+            if pkt.kind != CONTROL or state["rng"].random() >= state["rate"]:
+                real_send(node, pkt)
+                return
+            mode_ = state["mode"]
+            if mode_ == "duplicate":
+                real_send(node, pkt)
+                real_send(node, self._clone(pkt))
+            elif mode_ == "reorder":
+                held = state["held"]
+                if held is None:
+                    state["held"] = pkt  # wait for the next control packet
+                else:
+                    state["held"] = None
+                    real_send(node, pkt)
+                    real_send(node, held)
+            else:  # garble
+                real_send(node, self._garble(pkt))
+
+        node.send = corrupted_send  # type: ignore[method-assign]
+
+    def restore(self, node_name: Any) -> None:
+        """Remove the shim; a held (reordered) packet is finally sent."""
+        state = self._active.pop(node_name, None)
+        if state is None:
+            return
+        node = state["node"]
+        node.__dict__.pop("send", None)
+        if state["held"] is not None:
+            node.send(state["held"])
+
+    @staticmethod
+    def _clone(pkt: Packet) -> Packet:
+        return Packet(
+            src=pkt.src, dst=pkt.dst, group=pkt.group, size=pkt.size,
+            seq=pkt.seq, session=pkt.session, layer=pkt.layer, kind=pkt.kind,
+            port=pkt.port, payload=pkt.payload, created_at=pkt.created_at,
+        )
+
+    @classmethod
+    def _garble(cls, pkt: Packet) -> Packet:
+        out = cls._clone(pkt)
+        msg = pkt.payload
+        if isinstance(msg, Report):
+            out.payload = dataclasses.replace(msg, loss_rate=-1.0, bytes=-1.0)
+        elif isinstance(msg, Register):
+            out.payload = dataclasses.replace(msg, port="")
+        elif isinstance(msg, Suggestion):
+            out.payload = dataclasses.replace(msg, level=-1)
+        elif isinstance(msg, RegisterAck):
+            out.payload = dataclasses.replace(msg, receiver_id=("garbled", msg.receiver_id))
+        else:
+            out.payload = ("garbled", msg)
+        return out
+
+
 class FaultInjector:
-    """Binds the four injectors to one scenario and dispatches plan events.
+    """Binds the six injectors to one scenario and dispatches plan events.
 
     Every executed event is appended to :attr:`log` as
     ``(sim_time, kind, detail)`` so experiments and tests can correlate
@@ -187,6 +331,8 @@ class FaultInjector:
         self.nodes = NodeFault(scenario.network, scenario.mcast)
         self.controllers = ControllerFault(scenario)
         self.discovery = DiscoveryFault(scenario)
+        self.byzantine = ByzantineReceiverFault(scenario)
+        self.wire = PacketCorruptionFault(scenario)
         self.log: List[Tuple[float, str, str]] = []
 
     # ------------------------------------------------------------------
@@ -237,3 +383,15 @@ class FaultInjector:
 
     def _do_discovery_restore(self, name="default"):
         self.discovery.restore(name)
+
+    def _do_byzantine_start(self, receiver_id, mode):
+        self.byzantine.start(receiver_id, mode)
+
+    def _do_byzantine_stop(self, receiver_id):
+        self.byzantine.stop(receiver_id)
+
+    def _do_control_corrupt(self, node, mode="garble", rate=1.0):
+        self.wire.corrupt(node, mode=mode, rate=rate)
+
+    def _do_control_restore(self, node):
+        self.wire.restore(node)

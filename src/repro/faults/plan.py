@@ -33,6 +33,10 @@ KINDS = (
     "discovery_blackout",
     "discovery_truncate",
     "discovery_restore",
+    "byzantine_start",
+    "byzantine_stop",
+    "control_corrupt",
+    "control_restore",
 )
 
 
@@ -147,6 +151,28 @@ class FaultPlan:
             raise ValueError(f"unknown discovery outage mode {mode!r}")
         return self.add(end, "discovery_restore", name=name)
 
+    # -- adversaries ----------------------------------------------------
+    def byzantine(self, time: float, receiver_id: Any, mode: str) -> "FaultPlan":
+        """Turn the receiver byzantine: ``mode`` is ``lie_high``,
+        ``lie_low``, ``disobey`` or a ``+``-joined combination."""
+        return self.add(time, "byzantine_start", receiver_id, mode)
+
+    def stop_byzantine(self, time: float, receiver_id: Any) -> "FaultPlan":
+        """Restore the receiver to honest behaviour."""
+        return self.add(time, "byzantine_stop", receiver_id)
+
+    def corrupt_control(
+        self, time: float, node: Any, mode: str = "garble", rate: float = 1.0
+    ) -> "FaultPlan":
+        """Corrupt CONTROL packets originated at ``node``: ``mode`` is
+        ``duplicate``, ``reorder`` or ``garble``; ``rate`` is the per-packet
+        corruption probability."""
+        return self.add(time, "control_corrupt", node, mode=mode, rate=rate)
+
+    def restore_control(self, time: float, node: Any) -> "FaultPlan":
+        """Stop corrupting CONTROL packets originated at ``node``."""
+        return self.add(time, "control_restore", node)
+
     # ------------------------------------------------------------------
     # Application
     # ------------------------------------------------------------------
@@ -204,6 +230,8 @@ class FaultPlan:
         "controller_restart": ("controller_kill",),
         "controller_failover": ("controller_kill",),
         "discovery_restore": ("discovery_blackout", "discovery_truncate"),
+        "byzantine_stop": ("byzantine_start",),
+        "control_restore": ("control_corrupt",),
     }
 
     @staticmethod

@@ -4,6 +4,11 @@ stability pair, supporting fairness indices, and fault-recovery measures."""
 from .ascii_plot import render_histogram, render_level_timeline, render_series
 from .deviation import mean_relative_deviation, relative_deviation
 from .fairness import bandwidth_shares, jain_index
+from .guard import (
+    max_level_divergence,
+    mean_level_divergence,
+    quarantine_precision_recall,
+)
 from .recovery import (
     max_suggestion_gap,
     recovery_report,
@@ -28,4 +33,7 @@ __all__ = [
     "suggestion_gaps",
     "max_suggestion_gap",
     "recovery_report",
+    "quarantine_precision_recall",
+    "mean_level_divergence",
+    "max_level_divergence",
 ]

@@ -54,6 +54,9 @@ class GroupState:
         self.source = source
         self.members: Set[Any] = set()
         self.desired: Dict[Any, bool] = {}
+        #: Administrative deny-list: effective membership is
+        #: ``desired and not blocked`` (receiver-quarantine enforcement).
+        self.blocked: Set[Any] = set()
         self.edges: Set[Edge] = set()
         self.history: List[TreeSnapshot] = []
 
@@ -182,13 +185,40 @@ class MulticastManager:
                 break
         return delay
 
+    def set_blocked(self, group: int, member: Any, blocked: bool) -> float:
+        """Administratively block ``member`` from ``group`` (or unblock).
+
+        This is the quarantine-enforcement primitive: the domain's routers
+        refuse to serve the group to a blocked member regardless of what it
+        asks for.  Membership *intent* (``desired``) is preserved — a join
+        issued while blocked is recorded but denied, and takes effect when
+        the block is lifted.  Returns the time the change becomes effective
+        (a block propagates like a prune after ``igmp_report_delay``; an
+        unblock like a graft).
+        """
+        state = self._state(group)
+        if member not in self.network.nodes:
+            raise KeyError(f"unknown member node {member!r}")
+        if blocked == (member in state.blocked):
+            return self.sched.now
+        if blocked:
+            state.blocked.add(member)
+            delay = self.igmp_report_delay
+        else:
+            state.blocked.discard(member)
+            delay = self._graft_delay(state, member)
+        effective = self.sched.now + delay
+        self.sched.after(delay, self._apply, state, member)
+        return effective
+
     def _apply(self, state: GroupState, member: Any) -> None:
         """Reconcile ``member``'s actual membership with the desired state.
 
         Join/leave races resolve to whatever was requested most recently
-        because each apply event re-reads ``desired`` at its fire time.
+        because each apply event re-reads ``desired`` (and the deny-list) at
+        its fire time.
         """
-        want = state.desired.get(member, False)
+        want = state.desired.get(member, False) and member not in state.blocked
         have = member in state.members
         if want == have:
             return

@@ -82,6 +82,35 @@ class TestFaultPlan:
         with pytest.raises(ValueError):
             plan.apply(sc)
 
+    def test_adversarial_kinds_round_trip(self):
+        plan = (
+            FaultPlan()
+            .byzantine(10.0, "XL", "lie_low+disobey")
+            .stop_byzantine(40.0, "XL")
+            .corrupt_control(20.0, "rcv", mode="duplicate", rate=0.5)
+            .restore_control(50.0, "rcv")
+        )
+        rows = json.loads(json.dumps(plan.to_dicts()))
+        rebuilt = FaultPlan.from_dicts(rows)
+        assert rebuilt.to_dicts() == plan.to_dicts()
+        assert [e.kind for e in plan] == [
+            "byzantine_start", "control_corrupt",
+            "byzantine_stop", "control_restore",
+        ]
+
+    def test_adversarial_clear_times(self):
+        plan = (
+            FaultPlan()
+            .byzantine(10.0, "XL", "lie_low")
+            .stop_byzantine(20.0, "XL")
+            .byzantine(25.0, "XL", "lie_high")   # re-broken: 20 not a clear
+            .stop_byzantine(35.0, "XL")
+            .corrupt_control(30.0, "rcv")
+            .restore_control(45.0, "rcv")
+        )
+        assert plan.clear_times() == [35.0, 45.0]
+        assert 20.0 in plan.clear_times(final_only=False)
+
 
 # ----------------------------------------------------------------------
 # Injectors over a live scenario
