@@ -7,8 +7,12 @@ Usage::
     python -m repro demo --topology a --receivers 4 --traffic vbr --peak 3
     python -m repro chaos --seed 1 [--plan faults.json] [--json]
     python -m repro byzantine --seed 1 [--attack-start 30] [--json]
+    python -m repro bench [--quick] [--baseline BENCH_x.json]
 
 ``REPRO_FULL=1`` switches every experiment to the paper's 1200 s horizon.
+``demo``, ``chaos`` and ``byzantine`` write run artifacts (manifest, JSONL
+event log, metrics) under ``runs/`` — move the root with ``REPRO_RUNS_DIR``
+or disable with ``--no-artifacts``.
 """
 
 from __future__ import annotations
@@ -45,6 +49,19 @@ def _fmt(v: Any) -> str:
     if isinstance(v, float):
         return f"{v:.3f}"
     return str(v)
+
+
+def _make_recorder(args, experiment: str):
+    """A RunRecorder for this invocation, or None with ``--no-artifacts``."""
+    if getattr(args, "no_artifacts", False):
+        return None
+    from .obs.run import RunRecorder
+
+    cli_args = {
+        k: v for k, v in vars(args).items()
+        if k not in ("fn", "command") and not callable(v)
+    }
+    return RunRecorder(experiment, seed=getattr(args, "seed", None), args=cli_args)
 
 
 def _cmd_fig6(args) -> None:
@@ -117,13 +134,17 @@ def _cmd_chaos(args) -> None:
                 plan = FaultPlan.from_dicts(json.load(fh))
         except (OSError, ValueError, KeyError) as exc:
             sys.exit(f"chaos: cannot load fault plan {args.plan!r}: {exc}")
+    recorder = _make_recorder(args, "chaos")
     result = run_chaos(
         seed=args.seed,
         duration=args.duration or DEFAULT_DURATION,
         n_receivers=args.receivers,
         plan=plan,
         recover_intervals=args.recover_intervals,
+        recorder=recorder,
     )
+    if recorder is not None:
+        print(f"run artifacts: {recorder.finalize(result)}", file=sys.stderr)
     if args.json:
         print(json.dumps(result, indent=2, default=str))
     else:
@@ -139,6 +160,7 @@ def _cmd_byzantine(args) -> None:
         run_byzantine,
     )
 
+    recorder = _make_recorder(args, "byzantine")
     try:
         result = run_byzantine(
             seed=args.seed,
@@ -146,9 +168,12 @@ def _cmd_byzantine(args) -> None:
             attack_start=args.attack_start,
             quarantine_intervals=args.quarantine_intervals,
             divergence_budget=args.divergence_budget,
+            recorder=recorder,
         )
     except ValueError as exc:
         sys.exit(f"byzantine: {exc}")
+    if recorder is not None:
+        print(f"run artifacts: {recorder.finalize(result)}", file=sys.stderr)
     if args.json:
         print(json.dumps(result, indent=2, default=str))
     else:
@@ -169,11 +194,43 @@ def _cmd_demo(args) -> None:
             peak_to_mean=args.peak, seed=args.seed, staleness=args.staleness,
         )
     duration = args.duration or figures.default_duration()
+    recorder = _make_recorder(args, "demo")
+    if recorder is not None:
+        recorder.attach(sc, sample_interval=5.0)
     print(sc.network.describe())
     print(f"running {duration:.0f}s of simulated time ...")
     res = sc.run(duration)
     print(res.summary())
     print(f"mean relative deviation: {res.mean_deviation(min(60.0, duration / 4)):.3f}")
+    if recorder is not None:
+        print(f"run artifacts: {recorder.finalize(sim_time=duration)}", file=sys.stderr)
+
+
+def _cmd_bench(args) -> None:
+    from .obs.bench import (
+        check_against_baseline,
+        render_bench_report,
+        run_bench,
+        write_bench_file,
+    )
+
+    result = run_bench(quick=args.quick)
+    path = write_bench_file(result, args.out)
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        print(render_bench_report(result))
+    print(f"wrote {path}", file=sys.stderr)
+    if args.baseline:
+        try:
+            with open(args.baseline) as fh:
+                baseline = json.load(fh)
+        except (OSError, ValueError) as exc:
+            sys.exit(f"bench: cannot load baseline {args.baseline!r}: {exc}")
+        ok, msg = check_against_baseline(result, baseline, tolerance=args.tolerance)
+        print(("PASS: " if ok else "FAIL: ") + msg)
+        if not ok:
+            sys.exit(1)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -215,6 +272,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                        help="JSON fault plan (default: the canonical storm)")
     chaos.add_argument("--recover-intervals", type=float, default=3.0,
                        help="recovery bound, in control intervals (default 3)")
+    chaos.add_argument("--no-artifacts", action="store_true",
+                       help="skip writing the run directory under runs/")
     chaos.set_defaults(fn=_cmd_chaos)
 
     byz = sub.add_parser(
@@ -230,6 +289,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     byz.add_argument("--divergence-budget", type=float, default=1.0,
                      help="allowed honest-receiver level divergence vs "
                           "baseline (default 1 layer)")
+    byz.add_argument("--no-artifacts", action="store_true",
+                     help="skip writing the run directory under runs/")
     byz.set_defaults(fn=_cmd_byzantine)
 
     demo = sub.add_parser("demo", help="run one scenario and print a summary")
@@ -240,7 +301,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     demo.add_argument("--traffic", choices=["cbr", "vbr"], default="cbr")
     demo.add_argument("--peak", type=float, default=3.0, help="VBR peak-to-mean ratio")
     demo.add_argument("--staleness", type=float, default=0.0)
+    demo.add_argument("--no-artifacts", action="store_true",
+                      help="skip writing the run directory under runs/")
     demo.set_defaults(fn=_cmd_demo)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the seeded perf suite and write BENCH_<rev>.json",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="short horizons for CI smoke use")
+    bench.add_argument("--out", type=str, default=".",
+                       help="directory for BENCH_<rev>.json (default: .)")
+    bench.add_argument("--json", action="store_true",
+                       help="emit the raw result JSON instead of the report")
+    bench.add_argument("--baseline", type=str, default=None,
+                       help="baseline BENCH_*.json to gate events/sec against")
+    bench.add_argument("--tolerance", type=float, default=0.30,
+                       help="allowed events/sec regression fraction (default 0.30)")
+    bench.set_defaults(fn=_cmd_bench)
 
     args = parser.parse_args(argv)
     args.fn(args)

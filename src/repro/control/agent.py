@@ -39,6 +39,7 @@ suggestions and climbs a layer per report.  Modes combine with ``+``.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -124,6 +125,7 @@ class ReceiverAgent:
         #: Arrival times of every suggestion (for suggestion-gap metrics).
         self.suggestion_times: List[float] = []
         self.reports_sent = 0
+        self.control_bytes_sent = 0
         self.unilateral_drops = 0
         self.register_attempts = 0
         self.reregistrations = 0
@@ -225,6 +227,7 @@ class ReceiverAgent:
         self._register_ev = self.sched.after(delay, self._register, next_attempt)
 
     def _send(self, msg: Any, size: int) -> None:
+        self.control_bytes_sent += size
         self.node.send(
             Packet(
                 src=self.node.name,
@@ -465,6 +468,10 @@ class ControllerAgent:
         self.discovery_failures = 0
         self.sessions_skipped = 0
         self.registrations_expired = 0
+        self.control_bytes_sent = 0
+        #: Optional :class:`~repro.obs.profile.Profiler`; when set, every
+        #: tick charges its wall time to the ``"ctrl.tick"`` span.
+        self.profiler = None
         self.last_suggestions: Optional[SuggestionSet] = None
         #: Optional usage/billing ledger fed with every incoming report.
         self.ledger = None
@@ -538,6 +545,7 @@ class ControllerAgent:
         self.discovery_failures = 0
         self.sessions_skipped = 0
         self.registrations_expired = 0
+        self.control_bytes_sent = 0
 
     def add_session(self, descriptor: SessionDescriptor) -> None:
         """Register an additional session to manage."""
@@ -571,6 +579,12 @@ class ControllerAgent:
                 return
             self.registrations[key] = msg
             self._last_heard[key] = self.sched.now
+            bus = self.sched.bus
+            if bus is not None:
+                bus.emit(
+                    "ctrl.register", self.sched.now,
+                    receiver=msg.receiver_id, session=msg.session_id, node=msg.node,
+                )
             ack = RegisterAck(
                 receiver_id=msg.receiver_id,
                 session_id=msg.session_id,
@@ -593,6 +607,13 @@ class ControllerAgent:
             self.latest_reports[key] = msg
             self._last_heard[key] = self.sched.now
             self.reports_received += 1
+            bus = self.sched.bus
+            if bus is not None:
+                bus.emit(
+                    "ctrl.report", self.sched.now,
+                    receiver=msg.receiver_id, session=msg.session_id,
+                    loss=msg.loss_rate, level=msg.level,
+                )
             if self.ledger is not None:
                 self.ledger.record(msg)
             history = self._report_history.setdefault(key, [])
@@ -604,6 +625,7 @@ class ControllerAgent:
             self.guard.note_malformed()
 
     def _send_to(self, node_name: Any, port: str, msg: Any, size: int) -> None:
+        self.control_bytes_sent += size
         self.node.send(
             Packet(
                 src=self.node.name,
@@ -685,6 +707,22 @@ class ControllerAgent:
         if not self.active or (epoch is not None and epoch != self.epoch):
             raise StopIteration  # stopped (or superseded by a restart)
         now = self.sched.now
+        bus = self.sched.bus
+        # The guard has no scheduler reference of its own; hand it the bus so
+        # its strike/quarantine/release transitions are observable too.
+        self.guard.bus = bus
+        prof = self.profiler
+        if prof is not None:
+            wall0 = perf_counter()
+        if bus is not None and bus.wants("ctrl.tick.start"):
+            bus.emit(
+                "ctrl.tick.start", now,
+                controller=self.node.name, epoch=self.epoch,
+                registrations=len(self.registrations),
+            )
+        pre_skipped = self.sessions_skipped
+        pre_disc_fail = self.discovery_failures
+        pre_sent = self.suggestions_sent
         self._expire_registrations(now)
         cutoff = now - self.info_staleness
         inputs: List[SessionInput] = []
@@ -737,6 +775,7 @@ class ControllerAgent:
         suggestions = self.algorithm.update(now, inputs)
         self.last_suggestions = suggestions
         self.updates_run += 1
+        want_sugg = bus is not None and bus.wants("ctrl.suggestion")
         suggested_keys = set()
         for (sid, rid), level in suggestions.items():
             reg = self.registrations.get((sid, rid))
@@ -752,6 +791,11 @@ class ControllerAgent:
             )
             self._send_to(reg.node, reg.port, msg, SUGGESTION_SIZE)
             self.suggestions_sent += 1
+            if want_sugg:
+                bus.emit(
+                    "ctrl.suggestion", now,
+                    receiver=rid, session=sid, level=level, quarantined=False,
+                )
         # Quarantined receivers the algorithm had nothing to say about are
         # still pinned down explicitly every tick.
         for key in self.guard.quarantined_keys():
@@ -768,3 +812,20 @@ class ControllerAgent:
             )
             self._send_to(reg.node, reg.port, msg, SUGGESTION_SIZE)
             self.suggestions_sent += 1
+            if want_sugg:
+                bus.emit(
+                    "ctrl.suggestion", now,
+                    receiver=rid, session=sid, level=self.quarantine_level,
+                    quarantined=True,
+                )
+        if prof is not None:
+            prof.add("ctrl.tick", perf_counter() - wall0)
+        if bus is not None and bus.wants("ctrl.tick.end"):
+            bus.emit(
+                "ctrl.tick.end", now,
+                controller=self.node.name, epoch=self.epoch,
+                suggestions=self.suggestions_sent - pre_sent,
+                sessions_skipped=self.sessions_skipped - pre_skipped,
+                discovery_failures=self.discovery_failures - pre_disc_fail,
+                quarantined=len(self.guard.quarantined_keys()),
+            )

@@ -150,6 +150,19 @@ class ReportGuard:
         #: ``(time, kind, key, detail)`` log of strikes and transitions.
         self.events: List[Tuple[float, str, Key, str]] = []
         self._pending_transitions: List[Tuple[Key, str, float]] = []
+        #: Optional :class:`~repro.obs.bus.EventBus`; the owning controller
+        #: assigns its scheduler's bus each tick (the guard itself has no
+        #: scheduler reference).
+        self.bus = None
+
+    def _emit(self, now: float, kind: str, key: Key, reason: str) -> None:
+        bus = self.bus
+        if bus is not None:
+            bus.emit(
+                f"guard.{kind}", now,
+                receiver=key[1], session=key[0], reason=reason,
+                strikes=self._records[key].strikes,
+            )
 
     # ------------------------------------------------------------------
     # Admission
@@ -245,11 +258,13 @@ class ReportGuard:
         rec.struck_since_audit = True
         self.strike_counts[reason] = self.strike_counts.get(reason, 0) + 1
         self.events.append((now, "strike", key, reason))
+        self._emit(now, "strike", key, reason)
         if rec.quarantined_at is None and rec.strikes >= cfg.strike_threshold:
             rec.quarantined_at = now
             rec.clean_streak = 0
             self.quarantines += 1
             self.events.append((now, "quarantine", key, reason))
+            self._emit(now, "quarantine", key, reason)
             self._pending_transitions.append((key, "quarantined", now))
 
     def _score_report(
@@ -353,6 +368,7 @@ class ReportGuard:
                 rec.clean_streak = 0
                 self.releases += 1
                 self.events.append((now, "release", key, "rehabilitated"))
+                self._emit(now, "release", key, "rehabilitated")
                 self._pending_transitions.append((key, "released", now))
 
     # ------------------------------------------------------------------

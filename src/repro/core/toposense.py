@@ -23,6 +23,7 @@ snapshots and receiver reports, and ships the resulting
 from __future__ import annotations
 
 import math
+from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -65,6 +66,9 @@ class TopoSense:
         self._last_update: Optional[float] = None
         #: Diagnostics from the most recent update (per session id).
         self.last_diagnostics: Dict[Any, dict] = {}
+        #: Optional :class:`~repro.obs.profile.Profiler`; when set, each of
+        #: the six algorithm stages is timed under ``toposense.stage*``.
+        self.profiler = None
 
     # ------------------------------------------------------------------
     def update(self, now: float, sessions: Sequence[SessionInput]) -> SuggestionSet:
@@ -80,6 +84,9 @@ class TopoSense:
         )
         self._last_update = now
         self.last_diagnostics = {}
+        prof = self.profiler
+        if prof is not None:
+            t0 = perf_counter()
 
         # ---- Stage 1: congestion states, per session -------------------
         per_session: Dict[Any, dict] = {}
@@ -114,6 +121,8 @@ class TopoSense:
                 "congestion": congestion,
                 "bytes": node_bytes,
             }
+        if prof is not None:
+            t0 = prof.lap("toposense.stage1_congestion", t0)
 
         # ---- Stage 2: link capacity estimation (shared links only) ------
         # Fig. 4: "Estimate link bandwidths for all shared links".  A loss
@@ -138,16 +147,22 @@ class TopoSense:
                 )
         self.estimator.update(observations, interval)
         capacity_of = self.estimator.capacity
+        if prof is not None:
+            t0 = prof.lap("toposense.stage2_capacity", t0)
 
         # ---- Stages 3+4: bottlenecks and fair shares --------------------
         trees = [d["input"].tree for d in per_session.values()]
         schedules = {d["input"].session_id: d["input"].schedule for d in per_session.values()}
-        fair_shares = compute_fair_shares(trees, schedules, capacity_of)
         for sid, data in per_session.items():
             tree = data["input"].tree
             bottlenecks = compute_bottlenecks(tree, capacity_of)
             data["bottleneck"] = bottlenecks
             data["handleable"] = compute_handleable(tree, bottlenecks)
+        if prof is not None:
+            t0 = prof.lap("toposense.stage3_bottleneck", t0)
+        fair_shares = compute_fair_shares(trees, schedules, capacity_of)
+        if prof is not None:
+            t0 = prof.lap("toposense.stage4_fair_share", t0)
 
         # ---- Stages 5+6: demand and supply ------------------------------
         suggestions = SuggestionSet()
@@ -160,6 +175,8 @@ class TopoSense:
                 for leaf, rid in tree.receivers.items()
                 if rid in si.reports
             }
+            if prof is not None:
+                t0 = perf_counter()
             result = compute_demands(
                 tree,
                 schedule,
@@ -178,10 +195,14 @@ class TopoSense:
             for node, h in data["handleable"].items():
                 if h != math.inf:
                     result.demand[node] = max(min(result.demand[node], h), min_demand)
+            if prof is not None:
+                t0 = prof.lap("toposense.stage5_demand", t0)
             levels_by_leaf = allocate_supply(
                 tree, schedule, result.demand, capacity_of, fair_shares,
                 self.state, cfg,
             )
+            if prof is not None:
+                t0 = prof.lap("toposense.stage6_supply", t0)
             for leaf, rid in tree.receivers.items():
                 suggestions.levels[(sid, rid)] = levels_by_leaf[leaf]
             self.last_diagnostics[sid] = {

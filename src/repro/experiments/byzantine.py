@@ -39,6 +39,7 @@ from typing import Any, Dict, Optional, Tuple
 from ..core.config import TopoSenseConfig
 from ..faults import FaultPlan
 from ..metrics.guard import mean_level_divergence, quarantine_precision_recall
+from ..obs.run import fault_log_entries
 from .scenario import Scenario
 from .topologies import BACKBONE_BW, CLASS_A_BW
 
@@ -118,6 +119,7 @@ def run_byzantine(
     plan: Optional[FaultPlan] = None,
     quarantine_intervals: float = 5.0,
     divergence_budget: float = 1.0,
+    recorder: Optional[Any] = None,
 ) -> Dict[str, Any]:
     """Run the attack and its same-seed baseline; return a verdict dict.
 
@@ -138,7 +140,13 @@ def run_byzantine(
     if plan is None:
         plan = default_attack_plan(attack_start)
     injector = plan.apply(attacked)
+    # Only the attacked run is recorded: the baseline exists purely to be
+    # compared against, and recording it would interleave two event streams.
+    if recorder is not None:
+        recorder.attach(attacked, sample_interval=interval)
     attacked.run(duration)
+    if recorder is not None:
+        recorder.record_fault_log(injector.log)
 
     controller = attacked.controller
     guard = controller.guard
@@ -200,10 +208,7 @@ def run_byzantine(
         "quarantine_deadline": deadline,
         "divergence_budget": divergence_budget,
         "plan": plan.to_dicts(),
-        "fault_log": [
-            {"time": t, "kind": kind, "detail": detail}
-            for (t, kind, detail) in injector.log
-        ],
+        "fault_log": fault_log_entries(injector.log),
         "liars": liars,
         "honest": honest,
         "false_quarantines": false_quarantines,

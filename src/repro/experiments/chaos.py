@@ -30,6 +30,7 @@ from typing import Any, Dict, Optional
 from ..core.config import TopoSenseConfig
 from ..faults import FaultPlan
 from ..metrics.recovery import max_suggestion_gap, recovery_report
+from ..obs.run import fault_log_entries
 from .scenario import Scenario
 from .topologies import BACKBONE_BW, CLASS_A_BW
 
@@ -118,18 +119,25 @@ def run_chaos(
     interval: float = 2.0,
     plan: Optional[FaultPlan] = None,
     recover_intervals: float = 3.0,
+    recorder: Optional[Any] = None,
 ) -> Dict[str, Any]:
     """Run the chaos scenario and report per-receiver recovery.
 
     Returns a JSON-friendly dict; ``result["ok"]`` is True when every
     receiver received a controller suggestion within ``recover_intervals``
-    control intervals of every fault-clear time.
+    control intervals of every fault-clear time.  A
+    :class:`~repro.obs.run.RunRecorder` passed as ``recorder`` is attached
+    before the run, so the scenario's bus events land in its artifact dir.
     """
     sc = build_chaos_scenario(seed=seed, n_receivers=n_receivers, interval=interval)
     if plan is None:
         plan = default_chaos_plan()
     injector = plan.apply(sc)
+    if recorder is not None:
+        recorder.attach(sc, sample_interval=interval)
     sc.run(duration)
+    if recorder is not None:
+        recorder.record_fault_log(injector.log)
 
     within = recover_intervals * interval
     # Only faults that clear before the end of the run (with room to see the
@@ -161,10 +169,7 @@ def run_chaos(
         "interval": interval,
         "recover_within": within,
         "plan": plan.to_dicts(),
-        "fault_log": [
-            {"time": t, "kind": kind, "detail": detail}
-            for (t, kind, detail) in injector.log
-        ],
+        "fault_log": fault_log_entries(injector.log),
         "clear_times": clears,
         "controller": {
             "node": controller.node.name,

@@ -126,6 +126,7 @@ class LayeredReceiver:
             raise ValueError(f"level out of range: {level}")
         if level == self.level:
             return
+        previous = self.level
         if level > self.level:
             for idx in range(self.level, level):
                 self._join_layer(idx)
@@ -134,6 +135,13 @@ class LayeredReceiver:
                 self._leave_layer(idx)
         self.level = level
         self.trace.record(self.sched.now, level)
+        bus = self.sched.bus
+        if bus is not None:
+            bus.emit(
+                "recv.join" if level > previous else "recv.leave", self.sched.now,
+                receiver=self.receiver_id, session=self.session_id,
+                level=level, previous=previous,
+            )
 
     def add_layer(self) -> bool:
         """Subscribe one more layer; returns False if already at the top."""

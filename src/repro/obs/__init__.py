@@ -1,0 +1,30 @@
+"""Observability: event bus, metrics registry, run artifacts, profiling.
+
+The simulator, control plane and experiments emit typed, timestamped events
+onto an :class:`EventBus` (attached to the scheduler; zero overhead when
+absent), accumulate counters/gauges/histograms in a :class:`MetricsRegistry`,
+and record wall-clock stage timings in a :class:`Profiler`.
+:class:`RunRecorder` ties the three together into an on-disk run directory
+(manifest + JSONL event log + metrics summary) for every CLI experiment run,
+and :mod:`repro.obs.bench` turns the profiling hooks into the repo's perf
+trajectory (``python -m repro bench`` -> ``BENCH_<rev>.json``).
+"""
+
+from .bus import BusEvent, EventBus
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, sample_links
+from .profile import Profiler
+from .run import RunRecorder, fault_log_entries, git_rev
+
+__all__ = [
+    "BusEvent",
+    "EventBus",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Profiler",
+    "RunRecorder",
+    "fault_log_entries",
+    "git_rev",
+    "sample_links",
+]

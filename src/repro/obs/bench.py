@@ -1,0 +1,194 @@
+"""The perf-trajectory benchmark harness (``python -m repro bench``).
+
+Runs a fixed, seeded scenario suite with the profiling hooks attached and
+writes ``BENCH_<rev>.json`` so every PR leaves a comparable perf baseline:
+
+* **events/sec** — scheduler events processed per wall-clock second, the
+  simulator's headline throughput number;
+* **sim/wall ratio** — simulated seconds per wall second (how much faster
+  than real time the stack runs);
+* **per-stage ms** — wall time inside each of the six TopoSense stages and
+  the controller tick, from :class:`~repro.obs.profile.Profiler`;
+* **control bytes per receiver** — total control-plane bytes sent divided
+  by receiver count, the paper's §IV control-traffic cost.
+
+The suite covers the three workload shapes the repo cares about: a
+heterogeneous single-session tree (Topology A), competing sessions over a
+shared bottleneck with VBR sources (Topology B), and the chaos storm
+(failover + flap + discovery blackout).  ``quick=True`` shrinks horizons
+for CI smoke use; the scenario set is identical so numbers stay comparable
+scenario-by-scenario.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .profile import Profiler
+from .run import git_rev
+
+__all__ = [
+    "BENCH_SUITE",
+    "run_bench",
+    "write_bench_file",
+    "check_against_baseline",
+    "render_bench_report",
+]
+
+
+def _topo_a() -> Any:
+    from ..experiments.topologies import build_topology_a
+
+    return build_topology_a(n_receivers=8, traffic="cbr", seed=1)
+
+
+def _topo_b() -> Any:
+    from ..experiments.topologies import build_topology_b
+
+    return build_topology_b(n_sessions=4, traffic="vbr", peak_to_mean=3.0, seed=1)
+
+
+def _chaos() -> Any:
+    from ..experiments.chaos import build_chaos_scenario, default_chaos_plan
+
+    sc = build_chaos_scenario(seed=1)
+    default_chaos_plan().apply(sc)
+    return sc
+
+
+#: (name, scenario builder, full duration s, quick duration s)
+BENCH_SUITE: Tuple[Tuple[str, Callable[[], Any], float, float], ...] = (
+    ("topo_a_cbr_8rx", _topo_a, 120.0, 30.0),
+    ("topo_b_vbr_4sess", _topo_b, 120.0, 30.0),
+    ("chaos_storm", _chaos, 120.0, 45.0),
+)
+
+
+def _control_bytes(sc: Any) -> float:
+    total = sum(c.control_bytes_sent for c in sc.controllers.values())
+    for h in sc.receivers:
+        agent = h.agent
+        if agent is not None:
+            total += getattr(agent, "control_bytes_sent", 0)
+    return float(total)
+
+
+def run_bench(quick: bool = False, duration_override: Optional[float] = None) -> Dict[str, Any]:
+    """Run the suite and return the benchmark result dict.
+
+    ``duration_override`` forces every scenario to one (short) horizon —
+    used by the test suite to keep the smoke test fast.
+    """
+    scenarios: Dict[str, Any] = {}
+    total_events = 0
+    total_wall = 0.0
+    total_sim = 0.0
+    for name, builder, full_s, quick_s in BENCH_SUITE:
+        duration = duration_override if duration_override is not None else (
+            quick_s if quick else full_s
+        )
+        sc = builder()
+        profiler = Profiler()
+        sc.sched.profiler = profiler
+        for controller in sc.controllers.values():
+            controller.profiler = profiler
+            if hasattr(controller.algorithm, "profiler"):
+                controller.algorithm.profiler = profiler
+        t0 = perf_counter()
+        sc.run(duration)
+        wall = perf_counter() - t0
+        events = sc.sched.events_processed
+        n_receivers = len(sc.receivers) or 1
+        stage_ms = {
+            key: round(rec["total_s"] * 1e3, 3)
+            for key, rec in profiler.summary("toposense.").items()
+        }
+        stage_ms["ctrl.tick"] = round(profiler.total("ctrl.tick") * 1e3, 3)
+        scenarios[name] = {
+            "duration_s": duration,
+            "wall_s": round(wall, 4),
+            "events": events,
+            "events_per_sec": round(events / wall, 1) if wall > 0 else 0.0,
+            "sim_wall_ratio": round(duration / wall, 2) if wall > 0 else 0.0,
+            "n_receivers": len(sc.receivers),
+            "control_bytes": _control_bytes(sc),
+            "control_bytes_per_receiver": round(_control_bytes(sc) / n_receivers, 1),
+            "queue_drops": sc.network.total_drops(),
+            "stage_ms": stage_ms,
+        }
+        total_events += events
+        total_wall += wall
+        total_sim += duration
+    return {
+        "rev": git_rev(),
+        "python": sys.version.split()[0],
+        "quick": bool(quick or duration_override is not None),
+        "scenarios": scenarios,
+        "totals": {
+            "events": total_events,
+            "wall_s": round(total_wall, 4),
+            "sim_s": total_sim,
+            "events_per_sec": round(total_events / total_wall, 1) if total_wall > 0 else 0.0,
+            "sim_wall_ratio": round(total_sim / total_wall, 2) if total_wall > 0 else 0.0,
+        },
+    }
+
+
+def write_bench_file(result: Dict[str, Any], out_dir: str = ".") -> Path:
+    """Write ``BENCH_<rev>.json`` into ``out_dir`` and return its path."""
+    path = Path(out_dir) / f"BENCH_{result['rev']}.json"
+    path.write_text(json.dumps(result, indent=2, sort_keys=True))
+    return path
+
+
+def check_against_baseline(
+    result: Dict[str, Any], baseline: Dict[str, Any], tolerance: float = 0.30
+) -> Tuple[bool, str]:
+    """Gate on throughput: fail when events/sec regressed more than
+    ``tolerance`` versus the baseline's totals.
+
+    Only the aggregate events/sec is gated — per-scenario numbers and stage
+    timings are informational (they move with machine noise far more than
+    the aggregate does).
+    """
+    if not 0.0 < tolerance < 1.0:
+        raise ValueError("tolerance must be in (0, 1)")
+    base = float(baseline["totals"]["events_per_sec"])
+    cur = float(result["totals"]["events_per_sec"])
+    if base <= 0:
+        return True, "baseline has no throughput number; skipping gate"
+    floor = base * (1.0 - tolerance)
+    msg = (
+        f"events/sec {cur:.0f} vs baseline {base:.0f} "
+        f"(floor {floor:.0f} at {tolerance:.0%} tolerance, rev {result.get('rev')})"
+    )
+    return cur >= floor, msg
+
+
+def render_bench_report(result: Dict[str, Any]) -> str:
+    """Human-readable rendering of a :func:`run_bench` result."""
+    lines = [
+        f"bench rev={result['rev']} python={result['python']}"
+        + (" (quick)" if result.get("quick") else "")
+    ]
+    for name, s in result["scenarios"].items():
+        lines.append(
+            f"  {name}: {s['events']} events in {s['wall_s']:.2f}s wall "
+            f"({s['events_per_sec']:.0f} ev/s, {s['sim_wall_ratio']:.0f}x realtime), "
+            f"{s['control_bytes_per_receiver']:.0f} control B/receiver, "
+            f"{s['queue_drops']} drops"
+        )
+        stages = ", ".join(
+            f"{k.split('.')[-1]}={v:.1f}" for k, v in sorted(s["stage_ms"].items())
+        )
+        lines.append(f"    stage ms: {stages}")
+    t = result["totals"]
+    lines.append(
+        f"TOTAL: {t['events']} events / {t['wall_s']:.2f}s wall = "
+        f"{t['events_per_sec']:.0f} events/sec, {t['sim_wall_ratio']:.0f}x realtime"
+    )
+    return "\n".join(lines)

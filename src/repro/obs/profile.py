@@ -1,0 +1,91 @@
+"""Wall-clock profiling hooks.
+
+A :class:`Profiler` accumulates ``(calls, total seconds)`` per named span.
+It is designed for the two instrumentation styles used in this repo:
+
+* **Lap timing** in straight-line code (the six TopoSense stages)::
+
+      prof = self.profiler
+      if prof is not None:
+          t0 = perf_counter()
+      ... stage 1 ...
+      if prof is not None:
+          t0 = prof.lap("toposense.stage1_congestion", t0)
+      ... stage 2 ...
+      if prof is not None:
+          t0 = prof.lap("toposense.stage2_capacity", t0)
+
+  ``lap`` charges the elapsed time to the span and returns a fresh
+  timestamp, so successive stages chain without re-reading the clock twice.
+
+* **Span timing** around whole blocks (the simnet run loop, a controller
+  tick) via :meth:`add` or the :meth:`span` context manager.
+
+All sites are guarded by ``profiler is not None`` so unprofiled runs pay a
+single attribute check.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Dict, List
+
+__all__ = ["Profiler"]
+
+
+class Profiler:
+    """Accumulates wall-clock time per named span."""
+
+    __slots__ = ("timers",)
+
+    def __init__(self) -> None:
+        #: name -> [calls, total_seconds]
+        self.timers: Dict[str, List[float]] = {}
+
+    # ------------------------------------------------------------------
+    def add(self, name: str, seconds: float) -> None:
+        """Charge ``seconds`` of wall time to span ``name``."""
+        rec = self.timers.get(name)
+        if rec is None:
+            self.timers[name] = [1, seconds]
+        else:
+            rec[0] += 1
+            rec[1] += seconds
+
+    def lap(self, name: str, t0: float) -> float:
+        """Charge time since ``t0`` to ``name``; return the new timestamp."""
+        t1 = perf_counter()
+        self.add(name, t1 - t0)
+        return t1
+
+    @contextmanager
+    def span(self, name: str):
+        """Context manager form, for non-hot call sites."""
+        t0 = perf_counter()
+        try:
+            yield self
+        finally:
+            self.add(name, perf_counter() - t0)
+
+    # ------------------------------------------------------------------
+    def total(self, name: str) -> float:
+        """Total seconds charged to ``name`` (0.0 if never hit)."""
+        rec = self.timers.get(name)
+        return rec[1] if rec is not None else 0.0
+
+    def summary(self, prefix: str = "") -> Dict[str, Dict[str, float]]:
+        """``{name: {calls, total_s, mean_ms}}`` for spans under ``prefix``."""
+        out = {}
+        for name, (calls, total) in sorted(self.timers.items()):
+            if prefix and not name.startswith(prefix):
+                continue
+            out[name] = {
+                "calls": int(calls),
+                "total_s": total,
+                "mean_ms": (total / calls * 1e3) if calls else 0.0,
+            }
+        return out
+
+    def reset(self) -> None:
+        self.timers.clear()

@@ -1,0 +1,187 @@
+"""Run artifacts: a directory per experiment run.
+
+Every ``python -m repro <experiment>`` invocation (chaos, byzantine, demo,
+bench) records itself under a run directory::
+
+    runs/<experiment>-s<seed>-<stamp>/
+        manifest.json     seed, args, git rev, wall/sim time, event count
+        events.jsonl      one JSON object per bus event, in emit order
+        metrics.json      final MetricsRegistry snapshot + profiler summary
+        result.json       the experiment's own result dict (when it has one)
+
+The root defaults to ``./runs`` and can be moved with ``REPRO_RUNS_DIR``
+(or disabled per-run with ``--no-artifacts``).  The recorder owns an
+:class:`~repro.obs.bus.EventBus`, subscribes to a curated topic set
+(:data:`DEFAULT_TOPICS` — control plane, links, receivers, guard) and
+attaches the bus to a scenario's scheduler, so the instrumented stack's
+events land in ``events.jsonl`` — this replaces the ad-hoc fault-log
+plumbing the chaos and byzantine experiments used to duplicate.  Pass
+``topics=("*",)`` for a full firehose including the per-event
+``sched.dispatch`` stream (large: one line per scheduler event).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .bus import BusEvent, EventBus
+from .metrics import MetricsRegistry, sample_links
+from .profile import Profiler
+
+__all__ = ["DEFAULT_TOPICS", "RunRecorder", "fault_log_entries", "git_rev"]
+
+#: Topic patterns a recorder logs by default: everything except the
+#: per-scheduler-event ``sched.dispatch`` firehose.
+DEFAULT_TOPICS = ("ctrl.*", "guard.*", "link.*", "recv.*", "fault.*")
+
+
+def git_rev(short: bool = True) -> str:
+    """The repo's current commit hash, or ``"unknown"`` outside a checkout."""
+    cmd = ["git", "rev-parse", "--short" if short else "--verify", "HEAD"]
+    try:
+        out = subprocess.run(
+            cmd, capture_output=True, text=True, timeout=5.0,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def fault_log_entries(log: Iterable[Tuple[float, str, str]]) -> List[Dict[str, Any]]:
+    """Normalise a fault injector's ``(time, kind, detail)`` log to dicts.
+
+    The one shared renderer for every experiment's ``fault_log`` result
+    field (previously copy-pasted in chaos.py and byzantine.py).
+    """
+    return [{"time": t, "kind": kind, "detail": detail} for (t, kind, detail) in log]
+
+
+class RunRecorder:
+    """Owns one run directory and the observability objects feeding it."""
+
+    def __init__(
+        self,
+        experiment: str,
+        seed: Optional[int] = None,
+        root: Optional[str] = None,
+        args: Optional[Dict[str, Any]] = None,
+        topics: Tuple[str, ...] = DEFAULT_TOPICS,
+    ):
+        self.experiment = experiment
+        self.seed = seed
+        self.args = dict(args or {})
+        self.bus = EventBus()
+        self.metrics = MetricsRegistry()
+        self.profiler = Profiler()
+        self._scenario: Any = None
+        self._wall_t0 = time.perf_counter()
+        self._finalized = False
+        root_path = Path(root if root is not None else os.environ.get("REPRO_RUNS_DIR", "runs"))
+        stamp = time.strftime("%Y%m%d-%H%M%S")
+        base = f"{experiment}" + (f"-s{seed}" if seed is not None else "") + f"-{stamp}"
+        run_dir = root_path / base
+        n = 2
+        while run_dir.exists():
+            run_dir = root_path / f"{base}-{n}"
+            n += 1
+        run_dir.mkdir(parents=True)
+        self.dir = run_dir
+        self._events_fh = open(run_dir / "events.jsonl", "w")
+        self.events_logged = 0
+        for pattern in topics:
+            self.bus.subscribe(pattern, self._on_event)
+
+    # ------------------------------------------------------------------
+    def _on_event(self, ev: BusEvent) -> None:
+        self.log_event(ev.time, ev.topic, ev.data)
+
+    def log_event(self, t: float, topic: str, data: Optional[Dict[str, Any]] = None) -> None:
+        """Append one line to ``events.jsonl`` and bump the topic counter."""
+        entry = {"t": t, "topic": topic}
+        if data:
+            entry.update(data)
+        self._events_fh.write(json.dumps(entry, default=str) + "\n")
+        self.events_logged += 1
+        self.metrics.counter(f"events.{topic}").inc()
+
+    def record_fault_log(self, log: Iterable[Tuple[float, str, str]]) -> None:
+        """Mirror a fault injector's log into the event stream."""
+        for entry in fault_log_entries(log):
+            self.log_event(entry["time"], f"fault.{entry['kind']}", {"detail": entry["detail"]})
+
+    # ------------------------------------------------------------------
+    def attach(self, scenario: Any, sample_interval: Optional[float] = None) -> None:
+        """Wire this recorder into a scenario before it runs.
+
+        Attaches the bus and profiler to the scheduler, the profiler to
+        every controller (and its algorithm, when it takes one), and — if
+        ``sample_interval`` is given — a periodic link utilisation sampler
+        and a per-interval metrics mark.
+        """
+        self._scenario = scenario
+        sched = scenario.sched
+        sched.bus = self.bus
+        sched.profiler = self.profiler
+        for controller in scenario.controllers.values():
+            controller.profiler = self.profiler
+            if hasattr(controller.algorithm, "profiler"):
+                controller.algorithm.profiler = self.profiler
+        if sample_interval is not None:
+            if sample_interval <= 0:
+                raise ValueError("sample_interval must be positive")
+
+            def _sample() -> None:
+                now = sched.now
+                for row in sample_links(scenario.network, max(now, 1e-9)):
+                    self.log_event(now, "link.sample", row)
+                self.metrics.mark_interval(now)
+
+            sched.every(sample_interval, _sample)
+
+    # ------------------------------------------------------------------
+    def finalize(
+        self,
+        result: Optional[Dict[str, Any]] = None,
+        sim_time: Optional[float] = None,
+    ) -> Path:
+        """Write manifest/metrics (and ``result.json``); close the log."""
+        if self._finalized:
+            return self.dir
+        self._finalized = True
+        self._events_fh.close()
+        if sim_time is None and self._scenario is not None:
+            sim_time = self._scenario.sched.now
+        wall = time.perf_counter() - self._wall_t0
+        manifest = {
+            "experiment": self.experiment,
+            "seed": self.seed,
+            "args": self.args,
+            "git_rev": git_rev(),
+            "python": sys.version.split()[0],
+            "started_utc": time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime(time.time() - wall)
+            ),
+            "wall_seconds": wall,
+            "sim_seconds": sim_time,
+            "events_logged": self.events_logged,
+        }
+        if self._scenario is not None:
+            manifest["sim_events_processed"] = self._scenario.sched.events_processed
+        (self.dir / "manifest.json").write_text(json.dumps(manifest, indent=2, default=str))
+        metrics = {
+            "metrics": self.metrics.snapshot(),
+            "intervals": self.metrics.intervals,
+            "profile": self.profiler.summary(),
+        }
+        (self.dir / "metrics.json").write_text(json.dumps(metrics, indent=2, default=str))
+        if result is not None:
+            (self.dir / "result.json").write_text(json.dumps(result, indent=2, default=str))
+        return self.dir

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import heapq
 import math
+from time import perf_counter
 from typing import Any, Callable, List, Optional
 
 __all__ = ["Event", "Scheduler", "SimulationError"]
@@ -79,6 +80,14 @@ class Scheduler:
         self._now = 0.0
         self._stopped = False
         self.events_processed = 0
+        #: Optional :class:`~repro.obs.bus.EventBus`.  Components reach the
+        #: bus through their scheduler reference, so attaching observability
+        #: to a whole simulation is one assignment.  ``None`` (the default)
+        #: keeps every emit site to a single attribute check.
+        self.bus = None
+        #: Optional :class:`~repro.obs.profile.Profiler`; when set,
+        #: :meth:`run` charges its wall time to the ``"sched.run"`` span.
+        self.profiler = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -145,6 +154,18 @@ class Scheduler:
                 stop = fn(*a)
             except StopIteration:
                 return
+            except SimulationError:
+                raise
+            except Exception as exc:
+                # A periodic callback that raises must not just vanish from
+                # the calendar: the chain is dead and, if the caller catches
+                # the bare exception at run() level and resumes, the tick
+                # would silently never fire again.  Surface it with the
+                # scheduled time so the failure is attributable.
+                raise SimulationError(
+                    f"periodic callback {getattr(fn, '__qualname__', fn)!r} "
+                    f"raised at t={self._now:.6f}: {exc!r}"
+                ) from exc
             if not stop:
                 handle = self.after(interval, _tick, *a)
                 chain[0] = handle
@@ -166,6 +187,15 @@ class Scheduler:
         heap = self._heap
         self._stopped = False
         pop = heapq.heappop
+        # Hoisted observability state: the per-event cost of an unobserved
+        # run stays at zero extra work, and a bus without a dispatch
+        # subscriber costs one boolean test per event.  Subscribing to
+        # ``sched.dispatch`` mid-run takes effect on the next run() call.
+        bus = self.bus
+        dispatch = bus is not None and bus.wants("sched.dispatch")
+        prof = self.profiler
+        if prof is not None:
+            wall0 = perf_counter()
         while heap and not self._stopped:
             ev = heap[0]
             if ev.time > until:
@@ -175,9 +205,16 @@ class Scheduler:
                 continue
             self._now = ev.time
             self.events_processed += 1
+            if dispatch:
+                bus.emit(
+                    "sched.dispatch", ev.time, seq=ev.seq,
+                    fn=getattr(ev.fn, "__qualname__", repr(ev.fn)),
+                )
             ev.fn(*ev.args)
         if not self._stopped:
             self._now = until
+        if prof is not None:
+            prof.add("sched.run", perf_counter() - wall0)
 
     def step(self) -> bool:
         """Execute the single next live event.  Returns False if none remain."""

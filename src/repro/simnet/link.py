@@ -96,11 +96,24 @@ class Link:
         if not self.up:
             self.queue.stats.dropped += 1
             self.queue.stats.bytes_dropped += pkt.size
+            self._emit_drop(pkt, "link_down")
             return False
         if self.busy:
-            return self.queue.push(pkt)
+            accepted = self.queue.push(pkt)
+            if not accepted:
+                self._emit_drop(pkt, "queue_full")
+            return accepted
         self._start_transmit(pkt)
         return True
+
+    def _emit_drop(self, pkt: Packet, reason: str) -> None:
+        bus = self.sched.bus
+        if bus is not None:
+            bus.emit(
+                "link.drop", self.sched.now,
+                link=f"{self.src.name}->{self.dst.name}",
+                reason=reason, kind=pkt.kind, size=pkt.size,
+            )
 
     def _start_transmit(self, pkt: Packet) -> None:
         self.busy = True
@@ -127,6 +140,7 @@ class Link:
         """Take the link down: queued and future packets are dropped."""
         self.up = False
         stats = self.queue.stats
+        flushed = 0
         while True:
             pkt = self.queue.pop()
             if pkt is None:
@@ -136,10 +150,24 @@ class Link:
             stats.dequeued -= 1
             stats.dropped += 1
             stats.bytes_dropped += pkt.size
+            flushed += 1
+        bus = self.sched.bus
+        if bus is not None:
+            bus.emit(
+                "link.down", self.sched.now,
+                link=f"{self.src.name}->{self.dst.name}", flushed=flushed,
+            )
 
     def set_up(self) -> None:
         """Bring the link back up."""
         self.up = True
+        bus = self.sched.bus
+        if bus is not None:
+            bus.emit(
+                "link.up", self.sched.now,
+                link=f"{self.src.name}->{self.dst.name}",
+                utilization=self.stats.utilization(max(self.sched.now, 1e-9)),
+            )
 
     def set_bandwidth(self, bandwidth: float) -> None:
         """Change the link capacity (fault injection: degradation/restore).

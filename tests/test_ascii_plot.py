@@ -36,6 +36,17 @@ class TestLevelTimeline:
         with pytest.raises(ValueError):
             render_level_timeline(tr, 0.0, 5.0, width=0)
 
+    def test_empty_trace_renders_initial_value(self):
+        # A trace with no recorded changes holds its initial value forever.
+        tr = StepTrace(0.0, 0)
+        assert render_level_timeline(tr, 0.0, 5.0, width=5) == "00000"
+
+    def test_single_change_trace(self):
+        tr = StepTrace(0.0, 0)
+        tr.record(9.0, 7)
+        out = render_level_timeline(tr, 0.0, 10.0, width=10)
+        assert out == "0000000007"
+
 
 class TestSeries:
     def test_bar_heights_scale(self):
@@ -67,6 +78,37 @@ class TestSeries:
             render_series(s, 1.0, 1.0)
         with pytest.raises(ValueError):
             render_series(s, 0.0, 1.0, height=0)
+
+    def test_empty_series_renders_blank_grid(self):
+        out = render_series(SeriesTrace(), 0.0, 10.0, width=8, height=3)
+        rows = out.splitlines()
+        assert len(rows) == 3
+        assert all(row == " " * 8 for row in rows)
+
+    def test_single_point_series(self):
+        s = SeriesTrace()
+        s.record(5.5, 2.0)  # mid-bucket: edge samples land in two buckets
+        out = render_series(s, 0.0, 10.0, width=10, height=2)
+        rows = out.splitlines()
+        # Exactly one column filled, and it reaches the top row.
+        assert rows[0].count("|") == 1
+        assert rows[0].index("|") == 5
+
+    def test_constant_series_fills_every_column(self):
+        s = SeriesTrace()
+        for t in range(10):
+            s.record(float(t), 3.0)
+        out = render_series(s, 0.0, 10.0, width=10, height=3)
+        rows = out.splitlines()
+        # A flat non-zero series is its own maximum: full columns everywhere.
+        assert all(row == "|" * 10 for row in rows)
+
+    def test_constant_zero_series_is_blank(self):
+        s = SeriesTrace()
+        for t in range(5):
+            s.record(float(t), 0.0)
+        out = render_series(s, 0.0, 5.0, width=5, height=2)
+        assert all(row == " " * 5 for row in out.splitlines())
 
 
 class TestHistogram:

@@ -77,14 +77,62 @@ class TestCli:
 
     def test_demo_topology_a(self, capsys):
         assert main(["demo", "--topology", "a", "--receivers", "2",
-                     "--duration", "30"]) == 0
+                     "--duration", "30", "--no-artifacts"]) == 0
         out = capsys.readouterr().out
         assert "mean relative deviation" in out
 
     def test_demo_topology_b(self, capsys):
         assert main(["demo", "--topology", "b", "--receivers", "2",
-                     "--duration", "30"]) == 0
+                     "--duration", "30", "--no-artifacts"]) == 0
         assert "session" in capsys.readouterr().out
+
+    def test_demo_writes_run_artifacts(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path))
+        assert main(["demo", "--topology", "a", "--receivers", "2",
+                     "--duration", "20"]) == 0
+        assert "run artifacts" in capsys.readouterr().err
+        (run_dir,) = tmp_path.iterdir()
+        assert run_dir.name.startswith("demo-s1-")
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert manifest["experiment"] == "demo"
+        assert manifest["args"]["topology"] == "a"
+        assert (run_dir / "events.jsonl").exists()
+        assert (run_dir / "metrics.json").exists()
+
+    def test_no_artifacts_writes_nothing(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path))
+        assert main(["demo", "--topology", "a", "--receivers", "2",
+                     "--duration", "20", "--no-artifacts"]) == 0
+        capsys.readouterr()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_bench_quick(self, capsys, tmp_path, monkeypatch):
+        from repro.obs import bench as bench_mod
+
+        # Shrink horizons so the CLI smoke stays fast; scenario set unchanged.
+        short = tuple((n, b, f, 6.0) for (n, b, f, _q) in bench_mod.BENCH_SUITE)
+        monkeypatch.setattr(bench_mod, "BENCH_SUITE", short)
+        assert main(["bench", "--quick", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "TOTAL" in out
+        (bench_file,) = tmp_path.glob("BENCH_*.json")
+        result = json.loads(bench_file.read_text())
+        assert result["quick"] is True
+        assert result["totals"]["events"] > 0
+
+    def test_bench_baseline_gate_failure_exits_nonzero(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        from repro.obs import bench as bench_mod
+
+        short = tuple((n, b, f, 6.0) for (n, b, f, _q) in bench_mod.BENCH_SUITE)
+        monkeypatch.setattr(bench_mod, "BENCH_SUITE", short)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"totals": {"events_per_sec": 1e12}}))
+        with pytest.raises(SystemExit):
+            main(["bench", "--quick", "--out", str(tmp_path),
+                  "--baseline", str(baseline)])
+        assert "FAIL" in capsys.readouterr().out
 
     def test_fig9_summary_output(self, capsys):
         assert main(["fig9", "--duration", "40"]) == 0

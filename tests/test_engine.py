@@ -221,3 +221,39 @@ def test_peek_time_skips_cancelled():
     s.after(2.0, lambda: None)
     ev.cancel()
     assert s.peek_time() == 2.0
+
+def test_every_raising_callback_surfaces_simulation_error():
+    s = Scheduler()
+
+    def tick():
+        if s.now >= 3.0:
+            raise RuntimeError("boom")
+
+    s.every(1.0, tick)
+    with pytest.raises(SimulationError, match=r"tick.*t=3\.0.*boom"):
+        s.run(until=10.0)
+    # The failure is surfaced, not swallowed: time stopped at the bad tick.
+    assert s.now == 3.0
+
+
+def test_every_raising_callback_chains_original_exception():
+    s = Scheduler()
+
+    def tick():
+        raise KeyError("missing")
+
+    s.every(2.0, tick)
+    with pytest.raises(SimulationError) as excinfo:
+        s.run(until=10.0)
+    assert isinstance(excinfo.value.__cause__, KeyError)
+
+
+def test_every_simulation_error_passes_through_unwrapped():
+    s = Scheduler()
+
+    def tick():
+        raise SimulationError("already typed")
+
+    s.every(1.0, tick)
+    with pytest.raises(SimulationError, match="^already typed$"):
+        s.run(until=10.0)

@@ -1,0 +1,440 @@
+"""Unit and integration tests for the observability subsystem (repro.obs)."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    BusEvent,
+    Counter,
+    EventBus,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Profiler,
+    RunRecorder,
+    fault_log_entries,
+    git_rev,
+    sample_links,
+)
+from repro.simnet.engine import Scheduler
+
+
+class TestEventBus:
+    def test_exact_topic_delivery(self):
+        bus = EventBus()
+        got = []
+        bus.subscribe("link.drop", got.append)
+        bus.emit("link.drop", 1.5, link="a->b", reason="queue_full")
+        bus.emit("link.up", 2.0, link="a->b")
+        assert len(got) == 1
+        ev = got[0]
+        assert isinstance(ev, BusEvent)
+        assert ev.time == 1.5
+        assert ev.topic == "link.drop"
+        assert ev.data == {"link": "a->b", "reason": "queue_full"}
+
+    def test_prefix_wildcard(self):
+        bus = EventBus()
+        got = []
+        bus.subscribe("ctrl.*", got.append)
+        bus.emit("ctrl.tick.start", 0.0)
+        bus.emit("ctrl.suggestion", 1.0)
+        bus.emit("recv.join", 2.0)
+        assert [e.topic for e in got] == ["ctrl.tick.start", "ctrl.suggestion"]
+
+    def test_star_matches_everything(self):
+        bus = EventBus()
+        got = []
+        bus.subscribe("*", got.append)
+        bus.emit("anything.at.all", 0.0)
+        assert [e.topic for e in got] == ["anything.at.all"]
+
+    def test_no_subscribers_is_free(self):
+        bus = EventBus()
+        bus.emit("link.drop", 0.0, size=1000)
+        assert bus.emitted == 0
+
+    def test_unmatched_topic_not_counted(self):
+        bus = EventBus()
+        bus.subscribe("ctrl.*", lambda ev: None)
+        bus.emit("link.drop", 0.0)
+        assert bus.emitted == 0
+        bus.emit("ctrl.tick.start", 0.0)
+        assert bus.emitted == 1
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        got = []
+        fn = bus.subscribe("a.b", got.append)
+        bus.emit("a.b", 0.0)
+        bus.unsubscribe("a.b", fn)
+        bus.emit("a.b", 1.0)
+        assert len(got) == 1
+        # Unknown pairs are ignored.
+        bus.unsubscribe("a.b", fn)
+        bus.unsubscribe("zzz", fn)
+
+    def test_route_cache_invalidated_by_subscribe(self):
+        bus = EventBus()
+        first = []
+        bus.subscribe("a.*", first.append)
+        bus.emit("a.x", 0.0)  # resolves and caches the a.x route
+        second = []
+        bus.subscribe("a.x", second.append)
+        bus.emit("a.x", 1.0)
+        assert len(first) == 2
+        assert len(second) == 1
+
+    def test_wants(self):
+        bus = EventBus()
+        assert not bus.wants("a.b")
+        bus.subscribe("a.*", lambda ev: None)
+        assert bus.wants("a.b")
+        assert not bus.wants("b.a")
+
+    def test_invalid_patterns_rejected(self):
+        bus = EventBus()
+        with pytest.raises(ValueError):
+            bus.subscribe("", lambda ev: None)
+        with pytest.raises(ValueError):
+            bus.subscribe("a.*.b", lambda ev: None)
+        with pytest.raises(ValueError):
+            bus.subscribe("a*", lambda ev: None)
+
+
+class TestMetrics:
+    def test_counter_monotonic(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        g = Gauge()
+        g.set(4.0)
+        g.add(-1.5)
+        assert g.value == 2.5
+
+    def test_histogram_buckets(self):
+        h = Histogram([1.0, 2.0, 5.0])
+        for v in (0.5, 1.0, 1.5, 4.0, 100.0):
+            h.observe(v)
+        # bucket edges are inclusive upper bounds; 100 lands in overflow
+        assert h.counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.mean == pytest.approx(107.0 / 5)
+        d = h.to_dict()
+        assert d["bounds"] == [1.0, 2.0, 5.0]
+        assert d["counts"] == [2, 1, 1, 1]
+
+    def test_histogram_empty_mean_is_zero(self):
+        assert Histogram([1.0]).mean == 0.0
+
+    def test_histogram_bounds_validation(self):
+        with pytest.raises(ValueError):
+            Histogram([])
+        with pytest.raises(ValueError):
+            Histogram([2.0, 1.0])
+        with pytest.raises(ValueError):
+            Histogram([1.0, 1.0])
+
+    def test_registry_get_or_create(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.gauge("g") is reg.gauge("g")
+        h = reg.histogram("h", bounds=[1.0])
+        assert reg.histogram("h") is h
+        with pytest.raises(ValueError):
+            reg.histogram("never-created")
+
+    def test_registry_rejects_cross_type_reuse(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+        with pytest.raises(ValueError):
+            reg.histogram("x", bounds=[1.0])
+
+    def test_mark_interval_deltas(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(7.0)
+        snap1 = reg.mark_interval(10.0)
+        assert snap1 == {"t": 10.0, "deltas": {"c": 3.0}, "gauges": {"g": 7.0}}
+        reg.counter("c").inc(2)
+        snap2 = reg.mark_interval(20.0)
+        assert snap2["deltas"] == {"c": 2.0}
+        assert reg.intervals == [snap1, snap2]
+        assert reg.snapshot()["counters"] == {"c": 5.0}
+        assert reg.snapshot()["n_intervals"] == 2
+
+
+class TestProfiler:
+    def test_add_and_total(self):
+        p = Profiler()
+        p.add("a", 0.5)
+        p.add("a", 0.25)
+        assert p.total("a") == pytest.approx(0.75)
+        assert p.total("missing") == 0.0
+        assert p.summary()["a"]["calls"] == 2
+
+    def test_lap_chains(self):
+        p = Profiler()
+        t0 = 0.0
+        t1 = p.lap("stage1", t0)
+        t2 = p.lap("stage2", t1)
+        assert t2 >= t1 > 0.0
+        assert p.total("stage1") > 0.0
+        assert p.total("stage2") >= 0.0
+
+    def test_span_context_manager(self):
+        p = Profiler()
+        with p.span("block"):
+            pass
+        assert p.summary("blo")["block"]["calls"] == 1
+        assert p.summary("zzz") == {}
+
+    def test_reset(self):
+        p = Profiler()
+        p.add("a", 1.0)
+        p.reset()
+        assert p.total("a") == 0.0
+
+
+def small_scenario():
+    from repro.experiments.scenario import Scenario
+
+    sc = Scenario(seed=1)
+    sc.add_node("s")
+    sc.add_node("m")
+    sc.add_node("r")
+    sc.add_link("s", "m", bandwidth=10e6, delay=0.05)
+    sc.add_link("m", "r", bandwidth=10e6, delay=0.05)
+    sess = sc.add_session("s", traffic="cbr")
+    sc.attach_controller("s")
+    sc.add_receiver(sess.session_id, "r")
+    return sc
+
+
+class TestInstrumentation:
+    def test_unobserved_scenario_has_no_bus(self):
+        sc = small_scenario()
+        sc.run(10.0)
+        assert sc.sched.bus is None
+        assert sc.sched.profiler is None
+
+    def test_bus_sees_control_plane_and_receiver_events(self):
+        sc = small_scenario()
+        bus = EventBus()
+        topics = []
+        bus.subscribe("*", lambda ev: topics.append(ev.topic))
+        sc.sched.bus = bus
+        sc.run(30.0)
+        seen = set(topics)
+        assert "ctrl.register" in seen
+        assert "ctrl.report" in seen
+        assert "ctrl.tick.start" in seen
+        assert "ctrl.tick.end" in seen
+        assert "ctrl.suggestion" in seen
+        assert "recv.join" in seen
+        assert "sched.dispatch" in seen
+
+    def test_instrumented_run_matches_unobserved_run(self):
+        plain = small_scenario()
+        plain.run(30.0)
+        observed = small_scenario()
+        observed.sched.bus = EventBus()
+        observed.sched.bus.subscribe("*", lambda ev: None)
+        observed.run(30.0)
+        assert observed.sched.events_processed == plain.sched.events_processed
+        assert (
+            observed.receivers[0].receiver.level == plain.receivers[0].receiver.level
+        )
+
+    def test_profiler_charges_stages_and_tick(self):
+        sc = small_scenario()
+        prof = Profiler()
+        sc.sched.profiler = prof
+        controller = sc.controller
+        controller.profiler = prof
+        controller.algorithm.profiler = prof
+        sc.run(20.0)
+        assert prof.total("sched.run") > 0.0
+        assert prof.total("ctrl.tick") > 0.0
+        stages = prof.summary("toposense.")
+        assert set(stages) == {
+            "toposense.stage1_congestion",
+            "toposense.stage2_capacity",
+            "toposense.stage3_bottleneck",
+            "toposense.stage4_fair_share",
+            "toposense.stage5_demand",
+            "toposense.stage6_supply",
+        }
+
+    def test_link_drop_events(self):
+        sc = small_scenario()
+        bus = EventBus()
+        drops = []
+        bus.subscribe("link.drop", drops.append)
+        sc.sched.bus = bus
+        sc.run(5.0)
+        link = next(iter(sc.network.links.values()))
+        link.set_down()
+        from repro.simnet.packet import Packet
+
+        link.send(Packet(src="s", dst="m", size=100, kind="data"))
+        assert drops and drops[-1].data["reason"] == "link_down"
+
+    def test_sample_links_rows(self):
+        sc = small_scenario()
+        sc.run(10.0)
+        rows = sample_links(sc.network, 10.0)
+        assert len(rows) == len(sc.network.links)
+        row = rows[0]
+        assert set(row) >= {"link", "up", "utilization", "tx_packets", "dropped"}
+        assert 0.0 <= row["utilization"] <= 1.0
+
+
+class TestRunRecorder:
+    def test_fault_log_entries(self):
+        log = [(1.0, "link_down", "core-agg_a"), (2.5, "link_up", "core-agg_a")]
+        assert fault_log_entries(log) == [
+            {"time": 1.0, "kind": "link_down", "detail": "core-agg_a"},
+            {"time": 2.5, "kind": "link_up", "detail": "core-agg_a"},
+        ]
+
+    def test_git_rev_shape(self):
+        rev = git_rev()
+        assert rev == "unknown" or all(c in "0123456789abcdef" for c in rev)
+
+    def test_artifact_directory(self, tmp_path):
+        rec = RunRecorder("demo", seed=7, root=str(tmp_path), args={"duration": 5.0})
+        sc = small_scenario()
+        rec.attach(sc, sample_interval=2.0)
+        sc.run(10.0)
+        run_dir = rec.finalize(result={"ok": True})
+        assert run_dir.parent == tmp_path
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert manifest["experiment"] == "demo"
+        assert manifest["seed"] == 7
+        assert manifest["args"] == {"duration": 5.0}
+        assert manifest["sim_seconds"] == 10.0
+        assert manifest["events_logged"] == rec.events_logged > 0
+        assert manifest["sim_events_processed"] == sc.sched.events_processed
+        result = json.loads((run_dir / "result.json").read_text())
+        assert result == {"ok": True}
+        metrics = json.loads((run_dir / "metrics.json").read_text())
+        assert metrics["metrics"]["counters"]
+        # mark_interval ran with the sampler: one entry per 2 s.
+        assert len(metrics["intervals"]) == 5
+        lines = (run_dir / "events.jsonl").read_text().splitlines()
+        assert len(lines) == rec.events_logged
+        entry = json.loads(lines[0])
+        assert {"t", "topic"} <= set(entry)
+
+    def test_default_topics_exclude_dispatch(self, tmp_path):
+        rec = RunRecorder("demo", root=str(tmp_path))
+        sc = small_scenario()
+        rec.attach(sc)
+        sc.run(5.0)
+        run_dir = rec.finalize()
+        topics = {
+            json.loads(line)["topic"]
+            for line in (run_dir / "events.jsonl").read_text().splitlines()
+        }
+        assert "sched.dispatch" not in topics
+        assert any(t.startswith("ctrl.") for t in topics)
+
+    def test_finalize_idempotent(self, tmp_path):
+        rec = RunRecorder("demo", root=str(tmp_path))
+        assert rec.finalize() == rec.finalize()
+
+    def test_colliding_names_deduped(self, tmp_path, monkeypatch):
+        import time as time_mod
+
+        monkeypatch.setattr(time_mod, "strftime", lambda fmt, *a: "fixed")
+        a = RunRecorder("x", root=str(tmp_path))
+        b = RunRecorder("x", root=str(tmp_path))
+        a.finalize()
+        b.finalize()
+        assert a.dir != b.dir
+
+    def test_record_fault_log(self, tmp_path):
+        rec = RunRecorder("chaos", root=str(tmp_path))
+        rec.record_fault_log([(3.0, "crash_controller", "src")])
+        run_dir = rec.finalize()
+        line = json.loads((run_dir / "events.jsonl").read_text().splitlines()[0])
+        assert line["topic"] == "fault.crash_controller"
+        assert line["t"] == 3.0
+
+    def test_sample_interval_validated(self, tmp_path):
+        rec = RunRecorder("demo", root=str(tmp_path))
+        with pytest.raises(ValueError):
+            rec.attach(small_scenario(), sample_interval=0.0)
+        rec.finalize()
+
+
+class TestBench:
+    def test_quick_smoke_and_baseline_gate(self, tmp_path):
+        from repro.obs.bench import (
+            check_against_baseline,
+            render_bench_report,
+            run_bench,
+            write_bench_file,
+        )
+
+        result = run_bench(duration_override=6.0)
+        assert set(result["scenarios"]) == {
+            "topo_a_cbr_8rx",
+            "topo_b_vbr_4sess",
+            "chaos_storm",
+        }
+        totals = result["totals"]
+        assert totals["events"] > 0
+        assert totals["events_per_sec"] > 0
+        for s in result["scenarios"].values():
+            assert s["control_bytes_per_receiver"] > 0
+            assert "ctrl.tick" in s["stage_ms"]
+            assert any(k.startswith("toposense.") for k in s["stage_ms"])
+
+        path = write_bench_file(result, str(tmp_path))
+        assert path.name == f"BENCH_{result['rev']}.json"
+        assert json.loads(path.read_text())["totals"] == totals
+
+        ok, _ = check_against_baseline(result, result)
+        assert ok
+        fast = {"totals": {"events_per_sec": totals["events_per_sec"] * 10}}
+        ok, msg = check_against_baseline(result, fast)
+        assert not ok and "events/sec" in msg
+        ok, _ = check_against_baseline(result, {"totals": {"events_per_sec": 0}})
+        assert ok  # empty baseline skips the gate
+        with pytest.raises(ValueError):
+            check_against_baseline(result, result, tolerance=1.5)
+
+        report = render_bench_report(result)
+        assert "TOTAL" in report and "chaos_storm" in report
+
+
+class TestSchedulerObservability:
+    def test_dispatch_events_emitted_when_subscribed(self):
+        sched = Scheduler()
+        bus = EventBus()
+        seen = []
+        bus.subscribe("sched.dispatch", seen.append)
+        sched.bus = bus
+        sched.after(1.0, lambda: None)
+        sched.run(until=2.0)
+        assert len(seen) == 1
+        assert seen[0].data["fn"].endswith("<lambda>")
+
+    def test_no_dispatch_events_without_subscriber(self):
+        sched = Scheduler()
+        bus = EventBus()
+        bus.subscribe("ctrl.*", lambda ev: None)
+        sched.bus = bus
+        sched.after(1.0, lambda: None)
+        sched.run(until=2.0)
+        assert bus.emitted == 0

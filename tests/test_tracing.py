@@ -39,6 +39,35 @@ class TestStepTrace:
         assert len(t) == 1
         assert t.value_at(10.0) == 1
 
+    def test_same_instant_overwrite_chain_keeps_final_value(self):
+        # Regression: a burst of same-instant overwrites (e.g. several
+        # add_layer calls in one control action) must leave exactly one
+        # point carrying the last value, never adjacent duplicates.
+        t = StepTrace(0.0, 1)
+        for v in (2, 3, 4, 2):
+            t.record(5.0, v)
+        assert len(t) == 2
+        assert t.value_at(5.0) == 2
+        assert t.values == [1, 2]
+
+    def test_same_instant_collapse_then_new_change(self):
+        t = StepTrace(0.0, 1)
+        t.record(5.0, 3)
+        t.record(5.0, 1)  # collapsed away
+        t.record(7.0, 2)  # recording must continue cleanly after collapse
+        assert t.times == [0.0, 7.0]
+        assert t.values == [1, 2]
+        assert t.num_changes() == 1
+
+    def test_no_adjacent_duplicate_values_ever(self):
+        t = StepTrace(0.0, 0)
+        for step, (at, v) in enumerate(
+            [(1.0, 1), (1.0, 0), (2.0, 2), (2.0, 2), (3.0, 2), (4.0, 3)]
+        ):
+            t.record(at, v)
+            pairs = list(zip(t.values, t.values[1:]))
+            assert all(a != b for a, b in pairs), (step, t.values)
+
     def test_non_monotonic_rejected(self):
         t = StepTrace(0.0, 1)
         t.record(5.0, 2)

@@ -1,0 +1,82 @@
+"""Run the perf-trajectory benchmark suite and gate against a baseline.
+
+The default run is exactly ``python -m repro bench``; this tool is the CI
+entry point:
+
+    # full suite, write BENCH_<rev>.json into the working directory
+    python tools/run_bench.py
+
+    # CI smoke: short horizons, gate aggregate events/sec against the
+    # committed baseline, exit non-zero on a >30% regression
+    python tools/run_bench.py --quick --baseline benchmarks/bench_baseline.json
+
+    # refresh the committed baseline after an intentional perf change
+    python tools/run_bench.py --quick --update-baseline benchmarks/bench_baseline.json
+
+Only the aggregate events/sec is gated; per-scenario numbers and stage
+timings are informational (see repro.obs.bench.check_against_baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.bench import (  # noqa: E402
+    check_against_baseline,
+    render_bench_report,
+    run_bench,
+    write_bench_file,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="short horizons for CI smoke use")
+    parser.add_argument("--out", type=str, default=".",
+                        help="directory for BENCH_<rev>.json (default: .)")
+    parser.add_argument("--baseline", type=str, default=None,
+                        help="baseline BENCH_*.json to gate events/sec against")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed events/sec regression fraction (default 0.30)")
+    parser.add_argument("--update-baseline", type=str, default=None,
+                        help="write the fresh result to this path and exit 0")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the raw result JSON instead of the report")
+    args = parser.parse_args(argv)
+
+    result = run_bench(quick=args.quick)
+    path = write_bench_file(result, args.out)
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        print(render_bench_report(result))
+    print(f"wrote {path}", file=sys.stderr)
+
+    if args.update_baseline:
+        Path(args.update_baseline).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.update_baseline).write_text(
+            json.dumps(result, indent=2, sort_keys=True)
+        )
+        print(f"baseline updated: {args.update_baseline}", file=sys.stderr)
+        return 0
+
+    if args.baseline:
+        try:
+            with open(args.baseline) as fh:
+                baseline = json.load(fh)
+        except (OSError, ValueError) as exc:
+            parser.error(f"cannot load baseline {args.baseline!r}: {exc}")
+        ok, msg = check_against_baseline(result, baseline, tolerance=args.tolerance)
+        print(("PASS: " if ok else "FAIL: ") + msg)
+        return 0 if ok else 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
