@@ -1,0 +1,38 @@
+"""Static analysis: the ``repro lint`` determinism & contract linter.
+
+``python -m repro lint`` (or ``tools/run_lint.py``) walks ``src/``,
+``tools/`` and ``tests/`` and enforces the repo-specific rule catalogue
+R001-R005 (DESIGN.md §11).  Exit codes are CLI-conventional: 0 clean,
+1 findings, 2 internal error.
+"""
+
+from .contracts import MessageSchemaRule, TopicContractRule
+from .engine import (
+    FileContext,
+    Finding,
+    LintError,
+    LintResult,
+    Project,
+    Rule,
+    default_rules,
+    load_project,
+    run_lint,
+)
+from .rules import NoFloatEqualityRule, NoSetIterationRule, NoWallClockRule
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "LintError",
+    "LintResult",
+    "MessageSchemaRule",
+    "NoFloatEqualityRule",
+    "NoSetIterationRule",
+    "NoWallClockRule",
+    "Project",
+    "Rule",
+    "TopicContractRule",
+    "default_rules",
+    "load_project",
+    "run_lint",
+]

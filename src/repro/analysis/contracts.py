@@ -1,0 +1,371 @@
+"""Contract rules R004-R005: cross-file consistency checks.
+
+R004 — event-topic contracts
+    Every topic string passed to ``bus.emit`` / ``log_event`` in the
+    instrumented packages must resolve against the canonical
+    ``TOPIC_REGISTRY`` in ``obs/bus.py``; every subscription pattern
+    (literal ``.subscribe`` sites plus the derived
+    ``RunRecorder.DEFAULT_TOPICS``) must match at least one registered
+    topic; every registered topic must be emitted somewhere and documented
+    in the DESIGN.md §10 table, which must match regeneration
+    (``tools/make_event_taxonomy.py``).  F-string emit sites contribute
+    their literal head as a dynamic-family prefix (``f"guard.{kind}"`` →
+    ``guard.``); emits whose topic is a bare variable are unverifiable and
+    skipped.
+
+R005 — control-message schema coverage
+    The dataclass fields of the inbound messages in
+    ``control/messages.py`` are cross-referenced against the
+    ``GUARDED_FIELDS`` / ``GUARD_EXEMPT_FIELDS`` declarations in
+    ``control/guard.py``: a field added to a message without a guard rule
+    (or explicit exemption) fails the build, stale declarations are
+    flagged, and every guarded field must actually be read as
+    ``msg.<field>`` in the guard module.
+
+Both rules read the *scanned project's* ASTs — never a live import — so
+the linter's own fixture tests can feed synthetic trees.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..obs.bus import TopicSpec, default_record_patterns, render_topic_table
+from .engine import FileContext, Finding, Project, Rule
+
+__all__ = ["MessageSchemaRule", "TopicContractRule"]
+
+TABLE_BEGIN = "<!-- topic-table:begin -->"
+TABLE_END = "<!-- topic-table:end -->"
+
+
+def _assigned_value(tree: ast.AST, name: str) -> Optional[ast.expr]:
+    """The value expression of a module-level ``name = ...`` assignment."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return node.value
+        elif isinstance(node, ast.AnnAssign):
+            if (isinstance(node.target, ast.Name) and node.target.id == name
+                    and node.value is not None):
+                return node.value
+    return None
+
+
+def _assign_lineno(tree: ast.AST, name: str) -> int:
+    value = _assigned_value(tree, name)
+    return getattr(value, "lineno", 1)
+
+
+class TopicContractRule(Rule):
+    """R004: emit sites, subscriptions and docs agree with TOPIC_REGISTRY."""
+
+    code = "R004"
+    name = "topic-contract"
+
+    BUS_PATH = "src/repro/obs/bus.py"
+    #: Packages whose emit sites are contract-checked.
+    EMIT_PATHS = (
+        "src/repro/simnet/",
+        "src/repro/control/",
+        "src/repro/media/",
+        "src/repro/faults/",
+        "src/repro/obs/",
+    )
+    SUBSCRIBE_PATHS = ("src/repro/",)
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        bus_ctx = project.file(self.BUS_PATH)
+        if bus_ctx is None:
+            return []
+        specs = self._extract_registry(bus_ctx)
+        if specs is None:
+            return [Finding(self.BUS_PATH, 1, self.code,
+                            "TOPIC_REGISTRY not found (expected a module-level "
+                            "tuple of TopicSpec entries)")]
+        names = tuple(s.name for s in specs)
+        registry_line = _assign_lineno(bus_ctx.tree, "TOPIC_REGISTRY")
+        findings: List[Finding] = []
+
+        exact_emits: Set[str] = set()
+        prefix_emits: Set[str] = set()
+        for ctx in project.files:
+            if not any(ctx.rel_path.startswith(p) for p in self.EMIT_PATHS):
+                continue
+            for line, topic, is_prefix in self._emit_topics(ctx):
+                (prefix_emits if is_prefix else exact_emits).add(topic)
+                if not _topic_matches(topic, is_prefix, names):
+                    shown = topic + ("…" if is_prefix else "")
+                    findings.append(Finding(
+                        ctx.rel_path, line, self.code,
+                        f"emitted topic `{shown}` is not in the obs/bus.py "
+                        "TOPIC_REGISTRY",
+                    ))
+
+        for spec in specs:
+            if not _name_is_emitted(spec.name, exact_emits, prefix_emits):
+                findings.append(Finding(
+                    self.BUS_PATH, registry_line, self.code,
+                    f"registry topic `{spec.name}` is never emitted "
+                    "(dead registry entry)",
+                ))
+
+        patterns: List[Tuple[str, int, str]] = []
+        for ctx in project.files:
+            if not any(ctx.rel_path.startswith(p) for p in self.SUBSCRIBE_PATHS):
+                continue
+            for line, pattern in self._subscribe_patterns(ctx):
+                patterns.append((ctx.rel_path, line, pattern))
+        for derived in default_record_patterns(names):
+            patterns.append((self.BUS_PATH, registry_line, derived))
+        for path, line, pattern in patterns:
+            if not _pattern_matches_any(pattern, names):
+                findings.append(Finding(
+                    path, line, self.code,
+                    f"subscription pattern `{pattern}` matches no registered "
+                    "topic (dead pattern)",
+                ))
+
+        findings.extend(self._check_docs(project, specs, registry_line))
+        return findings
+
+    # -- extraction ----------------------------------------------------
+    def _extract_registry(self, ctx: FileContext) -> Optional[Tuple[TopicSpec, ...]]:
+        value = _assigned_value(ctx.tree, "TOPIC_REGISTRY")
+        if not isinstance(value, (ast.Tuple, ast.List)):
+            return None
+        specs: List[TopicSpec] = []
+        for elt in value.elts:
+            if not isinstance(elt, ast.Call):
+                return None
+            strings = [a.value for a in elt.args
+                       if isinstance(a, ast.Constant) and isinstance(a.value, str)]
+            strings += [kw.value.value for kw in elt.keywords
+                        if isinstance(kw.value, ast.Constant)
+                        and isinstance(kw.value.value, str)]
+            if len(strings) < 3:
+                return None
+            specs.append(TopicSpec(strings[0], strings[1], strings[2]))
+        return tuple(specs)
+
+    def _emit_topics(self, ctx: FileContext) -> Iterable[Tuple[int, str, bool]]:
+        """``(line, topic, is_prefix)`` for every literal emit site."""
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            if node.func.attr == "emit" and node.args:
+                arg: Optional[ast.expr] = node.args[0]
+            elif node.func.attr == "log_event" and len(node.args) >= 2:
+                arg = node.args[1]
+            else:
+                continue
+            for topic, is_prefix in _literal_topics(arg):
+                yield (node.lineno, topic, is_prefix)
+
+    def _subscribe_patterns(self, ctx: FileContext) -> Iterable[Tuple[int, str]]:
+        for node in ast.walk(ctx.tree):
+            if (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "subscribe" and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)):
+                yield (node.lineno, node.args[0].value)
+
+    # -- documentation -------------------------------------------------
+    def _check_docs(
+        self,
+        project: Project,
+        specs: Sequence[TopicSpec],
+        registry_line: int,
+    ) -> Iterable[Finding]:
+        doc = project.doc("DESIGN.md")
+        if doc is None:
+            return [Finding(self.BUS_PATH, registry_line, self.code,
+                            "DESIGN.md not found — the topic taxonomy must be "
+                            "documented (tools/make_event_taxonomy.py)")]
+        findings: List[Finding] = []
+        for spec in specs:
+            if f"`{spec.name}`" not in doc:
+                findings.append(Finding(
+                    "DESIGN.md", 1, self.code,
+                    f"topic `{spec.name}` is undocumented in the DESIGN.md "
+                    "§10 taxonomy table",
+                ))
+        begin, end = doc.find(TABLE_BEGIN), doc.find(TABLE_END)
+        if begin < 0 or end < 0 or end < begin:
+            findings.append(Finding(
+                "DESIGN.md", 1, self.code,
+                "topic-table markers missing — regenerate the §10 table with "
+                "tools/make_event_taxonomy.py",
+            ))
+            return findings
+        current = doc[begin + len(TABLE_BEGIN):end].strip()
+        expected = render_topic_table(specs).strip()
+        if _normalise(current) != _normalise(expected):
+            line = doc[:begin].count("\n") + 1
+            findings.append(Finding(
+                "DESIGN.md", line, self.code,
+                "§10 topic table is stale vs TOPIC_REGISTRY — run "
+                "tools/make_event_taxonomy.py",
+            ))
+        return findings
+
+
+def _normalise(text: str) -> str:
+    return re.sub(r"\s+", " ", text).strip()
+
+
+def _literal_topics(node: ast.expr) -> List[Tuple[str, bool]]:
+    """Literal topics reachable from an emit argument: ``(text, is_prefix)``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return [(node.value, False)]
+    if isinstance(node, ast.IfExp):
+        return _literal_topics(node.body) + _literal_topics(node.orelse)
+    if isinstance(node, ast.JoinedStr) and node.values:
+        head = node.values[0]
+        if isinstance(head, ast.Constant) and isinstance(head.value, str):
+            return [(head.value, True)]
+    return []
+
+
+def _topic_matches(topic: str, is_prefix: bool, names: Sequence[str]) -> bool:
+    for name in names:
+        wildcard = name.endswith(".*")
+        stem = name[:-1] if wildcard else name  # "fault.*" -> "fault."
+        if is_prefix:
+            if name.startswith(topic) or (wildcard and topic.startswith(stem)):
+                return True
+        else:
+            if topic == name or (wildcard and topic.startswith(stem)):
+                return True
+    return False
+
+
+def _name_is_emitted(name: str, exacts: Set[str], prefixes: Set[str]) -> bool:
+    if name.endswith(".*"):
+        stem = name[:-1]
+        return (any(t.startswith(stem) for t in exacts)
+                or any(p.startswith(stem) or stem.startswith(p) for p in prefixes))
+    return name in exacts or any(name.startswith(p) for p in prefixes)
+
+
+def _pattern_matches_any(pattern: str, names: Sequence[str]) -> bool:
+    if pattern == "*":
+        return True
+    if pattern.endswith(".*"):
+        stem = pattern[:-1]
+        return any(n == pattern or n.startswith(stem)
+                   or (n.endswith(".*") and stem.startswith(n[:-1]))
+                   for n in names)
+    return _topic_matches(pattern, False, names)
+
+
+def _is_dataclass_decorator(node: ast.expr) -> bool:
+    if isinstance(node, ast.Call):
+        node = node.func
+    name = node.attr if isinstance(node, ast.Attribute) else getattr(node, "id", None)
+    return name == "dataclass"
+
+
+class MessageSchemaRule(Rule):
+    """R005: message dataclass fields are covered by guard declarations."""
+
+    code = "R005"
+    name = "message-schema-coverage"
+
+    MESSAGES_PATH = "src/repro/control/messages.py"
+    GUARD_PATH = "src/repro/control/guard.py"
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        messages_ctx = project.file(self.MESSAGES_PATH)
+        guard_ctx = project.file(self.GUARD_PATH)
+        if messages_ctx is None or guard_ctx is None:
+            return []
+        classes = self._dataclass_fields(messages_ctx)
+        guarded = self._declared_sets(guard_ctx, "GUARDED_FIELDS")
+        exempt = self._declared_sets(guard_ctx, "GUARD_EXEMPT_FIELDS")
+        if guarded is None:
+            return [Finding(self.GUARD_PATH, 1, self.code,
+                            "GUARDED_FIELDS not found (expected a module-level "
+                            "dict of message-class -> field-name sets)")]
+        exempt = exempt or {}
+        guard_line = _assign_lineno(guard_ctx.tree, "GUARDED_FIELDS")
+        msg_reads = self._msg_attribute_reads(guard_ctx)
+        findings: List[Finding] = []
+
+        for cls in sorted(set(guarded) | set(exempt)):
+            if cls not in classes:
+                findings.append(Finding(
+                    self.GUARD_PATH, guard_line, self.code,
+                    f"guard declares fields for `{cls}`, which is not a "
+                    "dataclass in control/messages.py",
+                ))
+
+        for cls, fields in sorted(classes.items()):
+            if cls not in guarded:
+                continue
+            g, e = guarded.get(cls, set()), exempt.get(cls, set())
+            for name in sorted(g & e):
+                findings.append(Finding(
+                    self.GUARD_PATH, guard_line, self.code,
+                    f"`{cls}.{name}` is both guarded and exempt — pick one",
+                ))
+            for name in sorted((g | e) - set(fields)):
+                findings.append(Finding(
+                    self.GUARD_PATH, guard_line, self.code,
+                    f"guard declaration names `{cls}.{name}`, but the "
+                    "dataclass has no such field (stale declaration)",
+                ))
+            for name in sorted(set(fields) - g - e):
+                findings.append(Finding(
+                    self.MESSAGES_PATH, classes[cls][name], self.code,
+                    f"`{cls}.{name}` has no guard rule — add validation in "
+                    "control/guard.py (GUARDED_FIELDS) or an explicit "
+                    "exemption (GUARD_EXEMPT_FIELDS)",
+                ))
+            for name in sorted(g - msg_reads):
+                findings.append(Finding(
+                    self.GUARD_PATH, guard_line, self.code,
+                    f"`{cls}.{name}` is declared guarded but never read as "
+                    f"`msg.{name}` in control/guard.py",
+                ))
+        return findings
+
+    def _dataclass_fields(self, ctx: FileContext) -> Dict[str, Dict[str, int]]:
+        """Dataclass name -> {field name -> line} from the messages module."""
+        out: Dict[str, Dict[str, int]] = {}
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not any(_is_dataclass_decorator(d) for d in node.decorator_list):
+                continue
+            fields: Dict[str, int] = {}
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                    fields[stmt.target.id] = stmt.lineno
+            out[node.name] = fields
+        return out
+
+    def _declared_sets(
+        self, ctx: FileContext, name: str
+    ) -> Optional[Dict[str, Set[str]]]:
+        value = _assigned_value(ctx.tree, name)
+        if value is None:
+            return None
+        try:
+            literal = ast.literal_eval(value)
+        except (ValueError, SyntaxError):
+            return None
+        if not isinstance(literal, dict):
+            return None
+        return {str(k): {str(f) for f in v} for k, v in literal.items()}
+
+    def _msg_attribute_reads(self, ctx: FileContext) -> Set[str]:
+        reads: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if (isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name)
+                    and node.value.id == "msg"):
+                reads.add(node.attr)
+        return reads

@@ -18,7 +18,6 @@ from __future__ import annotations
 import itertools
 from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
-from ..media.layers import LayerSchedule
 from ..simnet.topology import Network
 from .session_plan import SessionPlan
 

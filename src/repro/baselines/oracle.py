@@ -25,10 +25,9 @@ burstiness (set it below 1.0 when comparing against VBR runs).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Sequence, Tuple
+from typing import Any, Dict, Mapping, Sequence, Tuple
 
 from ..core.types import SessionInput, SuggestionSet
-from ..media.layers import LayerSchedule
 from ..simnet.topology import Network
 from .session_plan import SessionPlan
 

@@ -8,6 +8,10 @@ Usage::
     python -m repro chaos --seed 1 [--plan faults.json] [--json]
     python -m repro byzantine --seed 1 [--attack-start 30] [--json]
     python -m repro bench [--quick] [--baseline BENCH_x.json]
+    python -m repro lint [--json] [--root DIR]
+
+``lint`` runs the determinism & contract linter (rules R001-R005,
+DESIGN.md §11) and exits 0 when clean, 1 on findings, 2 on internal error.
 
 ``REPRO_FULL=1`` switches every experiment to the paper's 1200 s horizon.
 ``demo``, ``chaos`` and ``byzantine`` write run artifacts (manifest, JSONL
@@ -90,7 +94,7 @@ def _cmd_fig9(args) -> None:
     print(f"Figure 9: {data['n_sessions']} competing VBR sessions, {data['duration']:.0f}s")
     if getattr(args, "plot", False):
         from .metrics.ascii_plot import render_level_timeline
-        from .simnet.tracing import SeriesTrace, StepTrace
+        from .simnet.tracing import StepTrace
 
         t1 = data["duration"]
         print(f"subscription level per session, 0..{t1:.0f}s "
@@ -121,7 +125,6 @@ def _cmd_table1(args) -> None:
 def _cmd_chaos(args) -> None:
     from .experiments.chaos import (
         DEFAULT_DURATION,
-        default_chaos_plan,
         render_chaos_report,
         run_chaos,
     )
@@ -233,6 +236,28 @@ def _cmd_bench(args) -> None:
             sys.exit(1)
 
 
+def _cmd_lint(args) -> int:
+    from .analysis import LintError, run_lint
+
+    try:
+        result = run_lint(root=args.root)
+    except LintError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    except Exception as exc:  # defensive: a linter crash must exit 2, not 1
+        print(f"lint: internal error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(result.to_json(), indent=2))
+    else:
+        for finding in result.findings:
+            print(finding.render())
+        status = "clean" if result.clean else f"{len(result.findings)} finding(s)"
+        print(f"lint: {result.files_scanned} files scanned, {status}",
+              file=sys.stderr)
+    return 0 if result.clean else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``python -m repro`` / the ``repro`` console script."""
     parser = argparse.ArgumentParser(
@@ -321,9 +346,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                        help="allowed events/sec regression fraction (default 0.30)")
     bench.set_defaults(fn=_cmd_bench)
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the determinism & contract linter (rules R001-R005)",
+    )
+    lint.add_argument("--json", action="store_true",
+                      help="emit the machine-readable findings document")
+    lint.add_argument("--root", type=str, default=".",
+                      help="repo root to scan (default: .)")
+    lint.set_defaults(fn=_cmd_lint)
+
     args = parser.parse_args(argv)
-    args.fn(args)
-    return 0
+    rc = args.fn(args)
+    return rc if isinstance(rc, int) else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

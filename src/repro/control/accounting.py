@@ -58,7 +58,7 @@ class BillingLedger:
         Charge per (layer x hour) subscribed — the "quality tier" component.
     """
 
-    def __init__(self, price_per_mb: float = 0.01, price_per_layer_hour: float = 0.05):
+    def __init__(self, price_per_mb: float = 0.01, price_per_layer_hour: float = 0.05) -> None:
         if price_per_mb < 0 or price_per_layer_hour < 0:
             raise ValueError("prices must be non-negative")
         self.price_per_mb = price_per_mb

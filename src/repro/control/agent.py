@@ -88,7 +88,7 @@ class ReceiverAgent:
         register_backoff_cap: float = 8.0,
         reregister_after: Optional[float] = None,
         controller_candidates: Optional[List[Any]] = None,
-    ):
+    ) -> None:
         self.receiver = receiver
         self.node: Node = receiver.node
         self.sched = receiver.sched
@@ -142,7 +142,7 @@ class ReceiverAgent:
         self._started = False
         self._started_at: Optional[float] = None
         self._last_contact: Optional[float] = None
-        self._register_ev = None
+        self._register_ev: Optional[Any] = None
         self._seq = 0
 
     # ------------------------------------------------------------------
@@ -414,7 +414,7 @@ class ControllerAgent:
         initial_epoch: int = 0,
         registration_ttl_intervals: Optional[float] = 10.0,
         quarantine_level: int = 1,
-    ):
+    ) -> None:
         if interval <= 0:
             raise ValueError("interval must be positive")
         if info_staleness < 0:
@@ -471,10 +471,10 @@ class ControllerAgent:
         self.control_bytes_sent = 0
         #: Optional :class:`~repro.obs.profile.Profiler`; when set, every
         #: tick charges its wall time to the ``"ctrl.tick"`` span.
-        self.profiler = None
+        self.profiler: Optional[Any] = None
         self.last_suggestions: Optional[SuggestionSet] = None
         #: Optional usage/billing ledger fed with every incoming report.
-        self.ledger = None
+        self.ledger: Optional[Any] = None
         #: Optional tree-level quarantine hook (see :meth:`attach_enforcer`).
         self._enforcer: Optional[Enforcer] = None
         self._started = False
@@ -551,7 +551,7 @@ class ControllerAgent:
         """Register an additional session to manage."""
         self.sessions[descriptor.session_id] = descriptor
 
-    def attach_ledger(self, ledger) -> None:
+    def attach_ledger(self, ledger: Any) -> None:
         """Feed every incoming report into ``ledger`` (billing, paper §II)."""
         self.ledger = ledger
 

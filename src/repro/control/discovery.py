@@ -53,7 +53,7 @@ class TopologyDiscovery:
         mcast: MulticastManager,
         staleness: float = 0.0,
         domain: Optional[set] = None,
-    ):
+    ) -> None:
         if staleness < 0:
             raise ValueError(f"staleness must be >= 0, got {staleness}")
         self.mcast = mcast
@@ -156,7 +156,7 @@ class TopologyDiscovery:
         )
 
     @staticmethod
-    def _clip_depth(root, edges, depth: int) -> frozenset:
+    def _clip_depth(root: Any, edges: Iterable[Tuple[Any, Any]], depth: int) -> frozenset:
         """Edges within ``depth`` hops below ``root`` (truncated discovery)."""
         children = {}
         for u, v in edges:
@@ -173,7 +173,7 @@ class TopologyDiscovery:
         return frozenset(keep)
 
     @staticmethod
-    def _entry_node(layer_edges) -> Optional[Any]:
+    def _entry_node(layer_edges: Iterable[Iterable[Tuple[Any, Any]]]) -> Optional[Any]:
         """The node where the session enters the domain: an in-domain edge
         head that no in-domain edge points to (ties broken by name)."""
         heads = set()
@@ -188,7 +188,7 @@ class TopologyDiscovery:
         return min(candidates, key=str)
 
     @staticmethod
-    def _reachable_from(root, edges) -> frozenset:
+    def _reachable_from(root: Any, edges: Iterable[Tuple[Any, Any]]) -> frozenset:
         """Edges of the subtree reachable from ``root``."""
         children = {}
         for u, v in edges:

@@ -60,9 +60,30 @@ from dataclasses import dataclass
 from statistics import median
 from typing import Any, Dict, List, Optional, Set, Tuple
 
-__all__ = ["GuardConfig", "ReportGuard"]
+__all__ = ["GUARDED_FIELDS", "GUARD_EXEMPT_FIELDS", "GuardConfig", "ReportGuard"]
 
 Key = Tuple[Any, Any]  # (session_id, receiver_id)
+
+#: Inbound message type -> fields this guard's admission pipeline validates
+#: or scores.  ``python -m repro lint`` rule R005 cross-checks this against
+#: the dataclasses in ``control/messages.py``: a field added to a message
+#: without either a guard rule here or an explicit exemption below fails
+#: the build, and a field listed here must actually be read as
+#: ``msg.<field>`` somewhere in this module.  Plain literals: the linter
+#: reads them from the AST without importing.
+GUARDED_FIELDS: Dict[str, Set[str]] = {
+    "Register": {"receiver_id", "port", "seq"},
+    "Report": {"loss_rate", "bytes", "level", "t0", "t1", "seq"},
+}
+
+#: Fields deliberately outside the admission checks, with the reason:
+#: ``session_id`` is validated upstream via the known-session lookup,
+#: ``receiver_id`` on reports doubles as the registration key, and a
+#: ``Register``'s ``node`` is a topology hint the discovery pass verifies.
+GUARD_EXEMPT_FIELDS: Dict[str, Set[str]] = {
+    "Register": {"session_id", "node"},
+    "Report": {"receiver_id", "session_id"},
+}
 
 
 @dataclass
@@ -137,7 +158,7 @@ def _finite_number(x: Any) -> bool:
 class ReportGuard:
     """Validates inbound control messages and quarantines liars."""
 
-    def __init__(self, config: Optional[GuardConfig] = None):
+    def __init__(self, config: Optional[GuardConfig] = None) -> None:
         self.config = config if config is not None else GuardConfig()
         self._records: Dict[Key, _ReceiverRecord] = {}
         self._last_seq: Dict[Key, int] = {}
@@ -153,7 +174,7 @@ class ReportGuard:
         #: Optional :class:`~repro.obs.bus.EventBus`; the owning controller
         #: assigns its scheduler's bus each tick (the guard itself has no
         #: scheduler reference).
-        self.bus = None
+        self.bus: Optional[Any] = None
 
     def _emit(self, now: float, kind: str, key: Key, reason: str) -> None:
         bus = self.bus

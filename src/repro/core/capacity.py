@@ -41,7 +41,7 @@ class LinkObservation:
 
     __slots__ = ("session_id", "loss", "bytes")
 
-    def __init__(self, session_id: Any, loss: Optional[float], bytes_: float):
+    def __init__(self, session_id: Any, loss: Optional[float], bytes_: float) -> None:
         self.session_id = session_id
         self.loss = loss
         self.bytes = bytes_
@@ -58,7 +58,7 @@ class _LinkEstimate:
 class LinkCapacityEstimator:
     """Persistent per-link capacity estimates, updated every interval."""
 
-    def __init__(self, config: TopoSenseConfig):
+    def __init__(self, config: TopoSenseConfig) -> None:
         self.config = config
         self._links: Dict[Edge, _LinkEstimate] = {}
 

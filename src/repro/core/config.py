@@ -9,7 +9,7 @@ DESIGN.md §7 "Paper ambiguities").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["TopoSenseConfig"]
 

@@ -47,7 +47,7 @@ class SessionTree:
         edges: Iterable[Edge],
         receivers: Mapping[Any, Any],
         layers_on_edge: Optional[Mapping[Edge, int]] = None,
-    ):
+    ) -> None:
         self.session_id = session_id
         self.root = root
         self.edges: FrozenSet[Edge] = frozenset(edges)

@@ -24,7 +24,6 @@ always received).
 
 from __future__ import annotations
 
-import math
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 import numpy as np
@@ -177,7 +176,7 @@ def _leaf_demand(
     hist: int,
     eq: BwEquality,
     node_loss: Optional[float],
-    ns,
+    ns: Any,
     res: DemandResult,
 ) -> float:
     sid = tree.session_id

@@ -58,7 +58,7 @@ class TopoSense:
         self,
         config: Optional[TopoSenseConfig] = None,
         rng: Optional[np.random.Generator] = None,
-    ):
+    ) -> None:
         self.config = config if config is not None else TopoSenseConfig()
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.state = ControllerState()
@@ -68,7 +68,7 @@ class TopoSense:
         self.last_diagnostics: Dict[Any, dict] = {}
         #: Optional :class:`~repro.obs.profile.Profiler`; when set, each of
         #: the six algorithm stages is timed under ``toposense.stage*``.
-        self.profiler = None
+        self.profiler: Optional[Any] = None
 
     # ------------------------------------------------------------------
     def update(self, now: float, sessions: Sequence[SessionInput]) -> SuggestionSet:

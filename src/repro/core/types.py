@@ -5,7 +5,7 @@ TopoSense core.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping
+from typing import Any, Dict
 
 from ..media.layers import LayerSchedule
 from .session_topology import SessionTree
@@ -64,7 +64,7 @@ class SuggestionSet:
         """Suggested level, or -1 when the pair is unknown."""
         return self.levels.get((session_id, receiver_id), -1)
 
-    def items(self):
+    def items(self) -> Iterable[Tuple[tuple, int]]:
         """Iterate ``((session_id, receiver_id), level)`` pairs."""
         return self.levels.items()
 

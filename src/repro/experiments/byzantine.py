@@ -34,7 +34,7 @@ from attack start to the end of the run).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional
 
 from ..core.config import TopoSenseConfig
 from ..faults import FaultPlan

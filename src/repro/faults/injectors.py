@@ -18,7 +18,7 @@ job.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
 from ..control.agent import ControllerAgent
 from ..control.messages import Register, RegisterAck, Report, Suggestion

@@ -14,7 +14,7 @@ level for the whole window.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence, Tuple
+from typing import Iterable, Tuple
 
 import numpy as np
 

@@ -8,7 +8,7 @@ trade-off: did it catch the liars (recall) without smearing honest receivers
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Set, Tuple
+from typing import Any, Dict, Iterable, Set
 
 from ..simnet.tracing import StepTrace
 

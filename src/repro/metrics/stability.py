@@ -10,7 +10,7 @@ The paper plots, per topology and traffic model:
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from ..simnet.tracing import StepTrace
 

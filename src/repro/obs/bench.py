@@ -26,7 +26,7 @@ import json
 import sys
 from pathlib import Path
 from time import perf_counter
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from .profile import Profiler
 from .run import git_rev

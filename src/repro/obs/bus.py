@@ -14,11 +14,119 @@ topic and cached, so a busy topic costs one dict lookup per emit.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Tuple
+from typing import Any, Callable, Dict, Iterable, List, NamedTuple, Optional, Tuple
 
-__all__ = ["BusEvent", "EventBus"]
+__all__ = [
+    "BusEvent",
+    "EventBus",
+    "TOPIC_REGISTRY",
+    "TopicSpec",
+    "default_record_patterns",
+    "render_topic_table",
+    "topic_is_known",
+    "topic_names",
+]
 
 Subscriber = Callable[["BusEvent"], Any]
+
+
+class TopicSpec(NamedTuple):
+    """One canonical event topic: name, emitting module, payload shape.
+
+    A trailing ``.*`` in ``name`` declares a dynamic-suffix family
+    (``fault.<kind>`` carries injector-defined kinds).
+    """
+
+    name: str
+    emitted_by: str
+    payload: str
+
+
+#: The canonical event taxonomy.  Every ``bus.emit``/``log_event`` topic in
+#: the tree must resolve to an entry here, every subscription pattern must
+#: match at least one entry, and the DESIGN.md §10 table is generated from
+#: it (``tools/make_event_taxonomy.py``) — all three enforced by
+#: ``python -m repro lint`` rule R004.
+TOPIC_REGISTRY: Tuple[TopicSpec, ...] = (
+    TopicSpec("sched.dispatch", "simnet/engine.py",
+              "`seq`, `fn` — one per scheduler event (firehose; off by default)"),
+    TopicSpec("link.drop", "simnet/link.py",
+              "`link`, `reason` (`queue_full` \\| `link_down`), `kind`, `size`"),
+    TopicSpec("link.down", "simnet/link.py", "`link`, `flushed`"),
+    TopicSpec("link.up", "simnet/link.py", "`link`, `utilization`"),
+    TopicSpec("link.sample", "run recorder",
+              "per-link utilisation/drops row, every `sample_interval`"),
+    TopicSpec("recv.join", "media/receiver.py",
+              "`receiver`, `session`, `level`, `previous`"),
+    TopicSpec("recv.leave", "media/receiver.py",
+              "`receiver`, `session`, `level`, `previous`"),
+    TopicSpec("ctrl.register", "control/agent.py",
+              "accepted registration (`receiver`, `session`, `node`)"),
+    TopicSpec("ctrl.report", "control/agent.py",
+              "accepted report (`receiver`, `session`, `loss`, `level`)"),
+    TopicSpec("ctrl.tick.start", "control/agent.py",
+              "`controller`, `epoch`, `registrations`"),
+    TopicSpec("ctrl.tick.end", "control/agent.py",
+              "per-tick deltas (`suggestions`, `sessions_skipped`, "
+              "`discovery_failures`, `quarantined`)"),
+    TopicSpec("ctrl.suggestion", "control/agent.py",
+              "`receiver`, `session`, `level`, `quarantined`"),
+    TopicSpec("guard.strike", "control/guard.py",
+              "`receiver`, `session`, `reason`, `strikes`"),
+    TopicSpec("guard.quarantine", "control/guard.py",
+              "`receiver`, `session`, `reason`, `strikes`"),
+    TopicSpec("guard.release", "control/guard.py",
+              "`receiver`, `session`, `reason`, `strikes`"),
+    TopicSpec("fault.*", "run recorder",
+              "mirrored fault-injector log entries (dynamic kind suffix)"),
+)
+
+
+def topic_names(registry: Optional[Iterable[TopicSpec]] = None) -> Tuple[str, ...]:
+    """All canonical topic names (wildcard families included), in order."""
+    specs = TOPIC_REGISTRY if registry is None else tuple(registry)
+    return tuple(s.name for s in specs)
+
+
+def topic_is_known(topic: str, names: Optional[Iterable[str]] = None) -> bool:
+    """True if ``topic`` resolves against the canonical registry.
+
+    ``topic`` may itself be a dynamic-family prefix ending in ``.`` (the
+    literal head of an f-string emit site): it is known when at least one
+    registry name starts with that prefix.
+    """
+    known = topic_names() if names is None else tuple(names)
+    for name in known:
+        if name.endswith(".*"):
+            if topic == name or topic.startswith(name[:-1]):
+                return True
+        elif topic == name or (topic.endswith(".") and name.startswith(topic)):
+            return True
+    return False
+
+
+def default_record_patterns(
+    names: Optional[Iterable[str]] = None,
+    exclude: Tuple[str, ...] = ("sched",),
+) -> Tuple[str, ...]:
+    """Subscription patterns covering every registered topic family.
+
+    One ``"<prefix>.*"`` per distinct first topic segment, sorted, minus
+    ``exclude`` — the derivation behind ``RunRecorder.DEFAULT_TOPICS``
+    (everything except the per-event ``sched.dispatch`` firehose).
+    """
+    source = topic_names() if names is None else tuple(names)
+    prefixes = {n.split(".", 1)[0] for n in source}
+    return tuple(f"{p}.*" for p in sorted(prefixes - set(exclude)))
+
+
+def render_topic_table(registry: Optional[Iterable[TopicSpec]] = None) -> str:
+    """The DESIGN.md §10 taxonomy table, one markdown row per topic."""
+    specs = TOPIC_REGISTRY if registry is None else tuple(registry)
+    lines = ["| topic | emitted by | payload |", "|---|---|---|"]
+    for s in specs:
+        lines.append(f"| `{s.name}` | {s.emitted_by} | {s.payload} |")
+    return "\n".join(lines)
 
 
 class BusEvent:
@@ -26,7 +134,7 @@ class BusEvent:
 
     __slots__ = ("time", "topic", "data")
 
-    def __init__(self, time: float, topic: str, data: Dict[str, Any]):
+    def __init__(self, time: float, topic: str, data: Dict[str, Any]) -> None:
         self.time = time
         self.topic = topic
         self.data = data

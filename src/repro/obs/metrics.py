@@ -57,7 +57,7 @@ class Histogram:
 
     __slots__ = ("bounds", "counts", "count", "total")
 
-    def __init__(self, bounds: Sequence[float]):
+    def __init__(self, bounds: Sequence[float]) -> None:
         if len(bounds) < 1:
             raise ValueError("need at least one bucket bound")
         bl = [float(b) for b in bounds]

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from time import perf_counter
-from typing import Dict, List
+from typing import Dict, Iterator, List
 
 __all__ = ["Profiler"]
 
@@ -60,7 +60,7 @@ class Profiler:
         return t1
 
     @contextmanager
-    def span(self, name: str):
+    def span(self, name: str) -> Iterator["Profiler"]:
         """Context manager form, for non-hot call sites."""
         t0 = perf_counter()
         try:

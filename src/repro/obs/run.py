@@ -30,15 +30,17 @@ import time
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-from .bus import BusEvent, EventBus
+from .bus import BusEvent, EventBus, default_record_patterns
 from .metrics import MetricsRegistry, sample_links
 from .profile import Profiler
 
 __all__ = ["DEFAULT_TOPICS", "RunRecorder", "fault_log_entries", "git_rev"]
 
 #: Topic patterns a recorder logs by default: everything except the
-#: per-scheduler-event ``sched.dispatch`` firehose.
-DEFAULT_TOPICS = ("ctrl.*", "guard.*", "link.*", "recv.*", "fault.*")
+#: per-scheduler-event ``sched.dispatch`` firehose.  Derived from the
+#: canonical :data:`~repro.obs.bus.TOPIC_REGISTRY`, so registering a new
+#: topic family automatically lands its events in ``events.jsonl``.
+DEFAULT_TOPICS: Tuple[str, ...] = default_record_patterns()
 
 
 def git_rev(short: bool = True) -> str:
@@ -74,7 +76,7 @@ class RunRecorder:
         root: Optional[str] = None,
         args: Optional[Dict[str, Any]] = None,
         topics: Tuple[str, ...] = DEFAULT_TOPICS,
-    ):
+    ) -> None:
         self.experiment = experiment
         self.seed = seed
         self.args = dict(args or {})
@@ -85,7 +87,9 @@ class RunRecorder:
         self._wall_t0 = time.perf_counter()
         self._finalized = False
         root_path = Path(root if root is not None else os.environ.get("REPRO_RUNS_DIR", "runs"))
-        stamp = time.strftime("%Y%m%d-%H%M%S")
+        # Run directories are keyed by wall-clock on purpose: the stamp
+        # names the artifact, it never feeds the simulation.
+        stamp = time.strftime("%Y%m%d-%H%M%S")  # repro: noqa[R001]
         base = f"{experiment}" + (f"-s{seed}" if seed is not None else "") + f"-{stamp}"
         run_dir = root_path / base
         n = 2
@@ -167,7 +171,9 @@ class RunRecorder:
             "git_rev": git_rev(),
             "python": sys.version.split()[0],
             "started_utc": time.strftime(
-                "%Y-%m-%dT%H:%M:%SZ", time.gmtime(time.time() - wall)
+                # Manifest provenance is wall-clock by design (R001 guards
+                # simulation logic, not artifact metadata).
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime(time.time() - wall)  # repro: noqa[R001]
             ),
             "wall_seconds": wall,
             "sim_seconds": sim_time,

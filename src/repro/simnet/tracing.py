@@ -10,7 +10,7 @@ and supports the time-weighted statistics that the paper's metrics
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

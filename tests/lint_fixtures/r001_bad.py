@@ -1,0 +1,35 @@
+"""R001 known-bad: wall-clock and global-RNG calls in simulation code."""
+
+import random
+import time
+from datetime import datetime
+from random import shuffle
+
+import numpy as np
+
+
+def bad_timestamp():
+    return time.time()
+
+
+def bad_now():
+    return datetime.now()
+
+
+def bad_argless_localtime():
+    import time as t  # noqa-free alias: not tracked, but the plain calls below are
+    return time.localtime()
+
+
+def bad_strftime_stamp():
+    return time.strftime("%Y%m%d")
+
+
+def bad_draws():
+    a = random.random()
+    b = np.random.rand(3)
+    np.random.seed(7)
+    gen = np.random.default_rng()
+    items = [3, 1, 2]
+    shuffle(items)
+    return a, b, gen, items

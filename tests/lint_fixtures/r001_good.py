@@ -1,0 +1,25 @@
+"""R001 known-good: seeded streams, scheduler time, duration timing."""
+
+from time import perf_counter
+
+import numpy as np
+
+
+def good_seeded_fallback(rng=None):
+    return rng if rng is not None else np.random.default_rng(0)
+
+
+def good_fork(registry):
+    rng = registry.fork("vbr/source0")
+    return rng.random()
+
+
+def good_duration():
+    t0 = perf_counter()
+    return perf_counter() - t0
+
+
+def good_explicit_strftime(stamp):
+    import time
+
+    return time.strftime("%Y-%m-%d", time.gmtime(stamp))

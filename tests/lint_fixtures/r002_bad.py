@@ -1,0 +1,21 @@
+"""R002 known-bad: direct float equality in math code."""
+
+
+def bad_eq(loss_rate):
+    return loss_rate == 0.0
+
+
+def bad_ne(deviation):
+    return deviation != 1.5
+
+
+def bad_chained(x, y):
+    return 0.0 == x != 2.5
+
+
+def bad_float_call(x):
+    return x == float("inf")
+
+
+def bad_negative(x):
+    return x == -0.5

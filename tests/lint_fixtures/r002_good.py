@@ -1,0 +1,19 @@
+"""R002 known-good: tolerance-based comparison and integer equality."""
+
+import math
+
+
+def good_isclose(loss_rate):
+    return math.isclose(loss_rate, 0.0, abs_tol=1e-12)
+
+
+def good_epsilon(deviation):
+    return abs(deviation - 1.5) < 1e-9
+
+
+def good_int_eq(level):
+    return level == 0
+
+
+def good_ordering(x):
+    return x <= 0.0 or x >= 1.0

@@ -1,0 +1,26 @@
+"""R003 known-bad: iteration directly over unordered sets."""
+
+
+def bad_for_over_set_call(edges):
+    out = []
+    for edge in set(edges):
+        out.append(edge)
+    return out
+
+
+def bad_for_over_frozenset(members):
+    total = 0
+    for m in frozenset(members):
+        total += m
+    return total
+
+
+def bad_for_over_literal():
+    acc = []
+    for name in {"a", "b", "c"}:
+        acc.append(name)
+    return acc
+
+
+def bad_comprehension(nodes):
+    return [n for n in {x for x in nodes}]

@@ -1,0 +1,23 @@
+"""R003 known-good: sorted traversal and non-set iteration."""
+
+
+def good_sorted_set(edges):
+    out = []
+    for edge in sorted(set(edges)):
+        out.append(edge)
+    return out
+
+
+def good_list_iteration(members):
+    total = 0
+    for m in list(members):
+        total += m
+    return total
+
+
+def good_membership_test(kind):
+    return kind in {"a", "b", "c"}
+
+
+def good_dict_iteration(levels):
+    return [levels[k] for k in sorted(levels)]

@@ -1,0 +1,18 @@
+"""R004 fixture: a miniature canonical topic registry (stands in for obs/bus.py)."""
+
+from typing import NamedTuple, Tuple
+
+
+class TopicSpec(NamedTuple):
+    name: str
+    emitted_by: str
+    payload: str
+
+
+TOPIC_REGISTRY: Tuple[TopicSpec, ...] = (
+    TopicSpec("link.drop", "simnet/link.py", "`link`, `reason`"),
+    TopicSpec("ctrl.tick.start", "control/agent.py", "`epoch`"),
+    TopicSpec("guard.strike", "control/guard.py", "`reason`"),
+    TopicSpec("fault.*", "run recorder", "dynamic kind suffix"),
+    TopicSpec("ghost.topic", "nobody", "never emitted anywhere"),
+)

@@ -1,0 +1,14 @@
+"""R004 known-bad: unknown topics and dead subscription patterns."""
+
+
+def emit_sites(bus, sched, recorder, kind):
+    bus.emit("link.drop", sched.now, link="a->b")          # known
+    bus.emit("link.dorp", sched.now, link="a->b")          # typo: unknown
+    bus.emit(f"mystery.{kind}", sched.now)                 # unknown family
+    recorder.log_event(sched.now, "nonsense.sample", {})   # unknown via log_event
+
+
+def subscribe_sites(bus, handler):
+    bus.subscribe("link.*", handler)     # live
+    bus.subscribe("recv.*", handler)     # dead: nothing registered under recv.
+    bus.subscribe("ctrl.tick.stop", handler)  # dead exact pattern

@@ -1,0 +1,15 @@
+"""R004 known-good: literal, conditional and f-string emit sites."""
+
+
+def emit_sites(bus, sched, recorder, kind, rising):
+    bus.emit("link.drop", sched.now, link="a->b")
+    bus.emit("ctrl.tick.start" if rising else "guard.strike", sched.now)
+    bus.emit(f"guard.{kind}", sched.now)
+    recorder.log_event(sched.now, f"fault.{kind}", {"detail": "x"})
+    bus.emit("ghost.topic", sched.now)  # keeps the registry fully covered
+
+
+def subscribe_sites(bus, handler):
+    bus.subscribe("link.*", handler)
+    bus.subscribe("guard.strike", handler)
+    bus.subscribe("*", handler)

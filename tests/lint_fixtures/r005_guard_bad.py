@@ -1,0 +1,26 @@
+"""R005 known-bad guard declarations (stands in for control/guard.py).
+
+Deliberate defects against ``r005_messages.py``:
+* ``Report.priority`` has neither a guard rule nor an exemption;
+* ``Report.qos`` is declared guarded but is not a dataclass field;
+* ``Report.t1`` is declared guarded but never read as ``msg.t1`` here;
+* ``Rumour`` is not a message class at all;
+* ``Register.node`` is both guarded and exempt.
+"""
+
+GUARDED_FIELDS = {
+    "Register": {"receiver_id", "port", "seq", "node"},
+    "Report": {"loss_rate", "bytes", "level", "t0", "t1", "seq", "qos"},
+    "Rumour": {"whisper"},
+}
+
+GUARD_EXEMPT_FIELDS = {
+    "Register": {"session_id", "node"},
+    "Report": {"receiver_id", "session_id"},
+}
+
+
+def admit(msg):
+    checked = (msg.receiver_id, msg.port, msg.seq)
+    scored = (msg.loss_rate, msg.bytes, msg.level, msg.t0, msg.node, msg.qos)
+    return checked, scored

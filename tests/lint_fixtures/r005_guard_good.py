@@ -1,0 +1,21 @@
+"""R005 known-good guard declarations for ``r005_messages.py`` minus `priority`.
+
+Used with a messages fixture that has no ``priority`` field; every field is
+either guarded (and read as ``msg.<field>``) or explicitly exempt.
+"""
+
+GUARDED_FIELDS = {
+    "Register": {"receiver_id", "port", "seq"},
+    "Report": {"loss_rate", "bytes", "level", "t0", "t1", "seq"},
+}
+
+GUARD_EXEMPT_FIELDS = {
+    "Register": {"session_id", "node"},
+    "Report": {"receiver_id", "session_id"},
+}
+
+
+def admit(msg):
+    checked = (msg.receiver_id, msg.port, msg.seq)
+    scored = (msg.loss_rate, msg.bytes, msg.level, msg.t0, msg.t1)
+    return checked, scored

@@ -1,0 +1,26 @@
+"""R005 fixture: inbound message dataclasses (stands in for control/messages.py)."""
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Register:
+    receiver_id: Any
+    session_id: Any
+    node: Any
+    port: str
+    seq: int = 0
+
+
+@dataclass(frozen=True)
+class Report:
+    receiver_id: Any
+    session_id: Any
+    loss_rate: float
+    bytes: float
+    level: int
+    t0: float
+    t1: float
+    seq: int = 0
+    priority: int = 0  # new field nobody guards (the R005 known-bad case)

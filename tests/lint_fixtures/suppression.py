@@ -1,0 +1,19 @@
+"""Suppression-comment behaviour: `# repro: noqa[RXXX]` is per-line, per-code."""
+
+import time
+
+
+def suppressed_wall_clock():
+    return time.time()  # repro: noqa[R001]
+
+
+def wrong_code_does_not_suppress():
+    return time.time()  # repro: noqa[R999]
+
+
+def multi_code_suppression():
+    return time.time()  # repro: noqa[R002, R001]
+
+
+def unsuppressed():
+    return time.time()

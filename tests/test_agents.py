@@ -8,7 +8,7 @@ from repro.baselines.static import StaticController
 from repro.control.agent import ControllerAgent, ReceiverAgent
 from repro.control.discovery import TopologyDiscovery
 from repro.control.session import SessionDescriptor
-from repro.core.types import SessionInput, SuggestionSet
+from repro.core.types import SuggestionSet
 from repro.media.layers import LayerSchedule
 from repro.media.receiver import LayeredReceiver
 from repro.media.source import LayeredSource

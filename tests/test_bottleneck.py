@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.core.bottleneck import compute_bottlenecks, compute_handleable
 from repro.core.session_topology import SessionTree

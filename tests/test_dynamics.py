@@ -8,7 +8,6 @@ from repro.experiments.scenario import Scenario
 from repro.experiments.topologies import BACKBONE_BW
 from repro.media.cross_traffic import OnOffSource
 from repro.simnet.engine import Scheduler
-from repro.simnet.packet import Packet
 from repro.simnet.topology import Network
 
 

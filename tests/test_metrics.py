@@ -1,6 +1,5 @@
 """Unit tests for the evaluation metrics."""
 
-import math
 
 import pytest
 

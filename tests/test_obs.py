@@ -103,6 +103,33 @@ class TestEventBus:
             bus.subscribe("a*", lambda ev: None)
 
 
+class TestTopicRegistry:
+    def test_default_topics_derived_from_registry(self):
+        from repro.obs.bus import default_record_patterns
+        from repro.obs.run import DEFAULT_TOPICS
+
+        assert DEFAULT_TOPICS == default_record_patterns()
+        # everything except the sched.dispatch firehose, one family each
+        assert DEFAULT_TOPICS == ("ctrl.*", "fault.*", "guard.*", "link.*", "recv.*")
+
+    def test_registry_covers_known_topics(self):
+        from repro.obs.bus import topic_is_known
+
+        assert topic_is_known("link.drop")
+        assert topic_is_known("fault.link_down")   # wildcard family
+        assert topic_is_known("guard.")            # f-string literal head
+        assert not topic_is_known("mystery.topic")
+
+    def test_render_topic_table_shape(self):
+        from repro.obs.bus import TOPIC_REGISTRY, render_topic_table
+
+        table = render_topic_table()
+        lines = table.splitlines()
+        assert lines[0] == "| topic | emitted by | payload |"
+        assert len(lines) == 2 + len(TOPIC_REGISTRY)
+        assert any("`ctrl.tick.end`" in line for line in lines)
+
+
 class TestMetrics:
     def test_counter_monotonic(self):
         c = Counter()

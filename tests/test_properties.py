@@ -11,7 +11,7 @@ from repro.core.bottleneck import compute_bottlenecks, compute_handleable
 from repro.core.capacity import LinkCapacityEstimator, LinkObservation
 from repro.core.config import TopoSenseConfig
 from repro.core.congestion import compute_congestion, compute_loss_rates, compute_subtree_bytes
-from repro.core.decision_table import BwEquality, classify_bandwidth, internal_action, leaf_action
+from repro.core.decision_table import BwEquality, classify_bandwidth
 from repro.core.session_topology import SessionTree
 from repro.core.state import ControllerState
 from repro.core.subscription import allocate_supply, compute_demands

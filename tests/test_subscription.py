@@ -3,7 +3,6 @@
 import math
 
 import numpy as np
-import pytest
 
 from repro.core.config import TopoSenseConfig
 from repro.core.decision_table import Action

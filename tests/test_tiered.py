@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments.tiered import DEFAULT_TIERS, TierSpec, build_tiered_topology
+from repro.experiments.tiered import TierSpec, build_tiered_topology
 
 
 def test_structure_tiers_present():

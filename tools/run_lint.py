@@ -1,0 +1,20 @@
+#!/usr/bin/env python
+"""Run the determinism & contract linter without installing the package.
+
+Equivalent to ``PYTHONPATH=src python -m repro lint``; forwards all
+arguments (``--json``, ``--root``) and exits with the linter's
+CLI-conventional code (0 clean / 1 findings / 2 internal error).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(["lint", "--root", str(ROOT), *sys.argv[1:]]))
