@@ -72,6 +72,7 @@ class TopicContractRule(Rule):
         "src/repro/simnet/",
         "src/repro/control/",
         "src/repro/media/",
+        "src/repro/multicast/",
         "src/repro/faults/",
         "src/repro/obs/",
     )

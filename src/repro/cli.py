@@ -7,6 +7,7 @@ Usage::
     python -m repro demo --topology a --receivers 4 --traffic vbr --peak 3
     python -m repro chaos --seed 1 [--plan faults.json] [--json]
     python -m repro byzantine --seed 1 [--attack-start 30] [--json]
+    python -m repro churn --seed 1 [--backends spt,protected] [--json]
     python -m repro bench [--quick] [--baseline BENCH_x.json]
     python -m repro lint [--json] [--root DIR]
 
@@ -14,7 +15,7 @@ Usage::
 DESIGN.md §11) and exits 0 when clean, 1 on findings, 2 on internal error.
 
 ``REPRO_FULL=1`` switches every experiment to the paper's 1200 s horizon.
-``demo``, ``chaos`` and ``byzantine`` write run artifacts (manifest, JSONL
+``demo``, ``chaos``, ``byzantine`` and ``churn`` write run artifacts (manifest, JSONL
 event log, metrics) under ``runs/`` — move the root with ``REPRO_RUNS_DIR``
 or disable with ``--no-artifacts``.
 """
@@ -152,6 +153,45 @@ def _cmd_chaos(args) -> None:
         print(json.dumps(result, indent=2, default=str))
     else:
         print(render_chaos_report(result))
+    if not result["ok"]:
+        sys.exit(1)
+
+
+def _cmd_churn(args) -> None:
+    from .experiments.churn import (
+        DEFAULT_DURATION,
+        render_churn_report,
+        run_churn,
+    )
+    from .faults import FaultPlan
+
+    plan = None
+    if args.plan:
+        try:
+            with open(args.plan) as fh:
+                plan = FaultPlan.from_dicts(json.load(fh))
+        except (OSError, ValueError, KeyError) as exc:
+            sys.exit(f"churn: cannot load fault plan {args.plan!r}: {exc}")
+    backends = [b for b in args.backends.split(",") if b] if args.backends else None
+    recorder = _make_recorder(args, "churn")
+    try:
+        result = run_churn(
+            seed=args.seed,
+            duration=args.duration or DEFAULT_DURATION,
+            n_receivers=args.receivers,
+            backends=backends,
+            plan=plan,
+            recover_intervals=args.recover_intervals,
+            recorder=recorder,
+        )
+    except ValueError as exc:
+        sys.exit(f"churn: {exc}")
+    if recorder is not None:
+        print(f"run artifacts: {recorder.finalize(result)}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(result, indent=2, default=str))
+    else:
+        print(render_churn_report(result))
     if not result["ok"]:
         sys.exit(1)
 
@@ -300,6 +340,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     chaos.add_argument("--no-artifacts", action="store_true",
                        help="skip writing the run directory under runs/")
     chaos.set_defaults(fn=_cmd_chaos)
+
+    churn = sub.add_parser(
+        "churn",
+        help="sweep the tree-builder backends through a seeded "
+             "membership-churn + link-failure storm",
+    )
+    common(churn)
+    churn.add_argument("--receivers", type=int, default=6)
+    churn.add_argument("--backends", type=str, default=None,
+                       help="comma-separated backend names "
+                            "(default: spt,degree,protected)")
+    churn.add_argument("--plan", type=str, default=None,
+                       help="JSON fault plan (default: seeded churn + link cuts)")
+    churn.add_argument("--recover-intervals", type=float, default=4.0,
+                       help="recovery bound, in control intervals (default 4)")
+    churn.add_argument("--no-artifacts", action="store_true",
+                       help="skip writing the run directory under runs/")
+    churn.set_defaults(fn=_cmd_churn)
 
     byz = sub.add_parser(
         "byzantine",

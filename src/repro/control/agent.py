@@ -414,6 +414,7 @@ class ControllerAgent:
         initial_epoch: int = 0,
         registration_ttl_intervals: Optional[float] = 10.0,
         quarantine_level: int = 1,
+        fence_repairs: bool = False,
     ) -> None:
         if interval <= 0:
             raise ValueError("interval must be positive")
@@ -450,6 +451,12 @@ class ControllerAgent:
         self.registration_ttl_intervals = registration_ttl_intervals
         #: Level quarantined receivers are pinned to (and pruned above).
         self.quarantine_level = quarantine_level
+        #: Discard reports whose measurement window overlaps a tree-repair
+        #: disruption at the reporting node (the receiver sat on a detached
+        #: subtree — its 100% loss is plumbing, not congestion).  Requires a
+        #: discovery tool exposing ``disrupted_during``; default off so the
+        #: classic experiments are unaffected.
+        self.fence_repairs = fence_repairs
         # (session_id, receiver_id) -> registration info
         self.registrations: Dict[tuple, Register] = {}
         # (session_id, receiver_id) -> latest Report (ignoring staleness)
@@ -468,6 +475,7 @@ class ControllerAgent:
         self.discovery_failures = 0
         self.sessions_skipped = 0
         self.registrations_expired = 0
+        self.reports_fenced = 0
         self.control_bytes_sent = 0
         #: Optional :class:`~repro.obs.profile.Profiler`; when set, every
         #: tick charges its wall time to the ``"ctrl.tick"`` span.
@@ -545,6 +553,7 @@ class ControllerAgent:
         self.discovery_failures = 0
         self.sessions_skipped = 0
         self.registrations_expired = 0
+        self.reports_fenced = 0
         self.control_bytes_sent = 0
 
     def add_session(self, descriptor: SessionDescriptor) -> None:
@@ -760,6 +769,19 @@ class ControllerAgent:
                     else self._report_as_of(key, cutoff)
                 )
                 if rep is None:
+                    continue
+                if (
+                    self.fence_repairs
+                    and rid in receivers
+                    and self.discovery.disrupted_during(
+                        descriptor, receivers[rid], rep.t0, rep.t1
+                    )
+                ):
+                    # The window overlaps a repair disruption at this node:
+                    # the loss it reports is the detached subtree, not the
+                    # network.  Keep the report for auditing, fence it from
+                    # the congestion algorithm.
+                    self.reports_fenced += 1
                     continue
                 reports[rid] = ReceiverReport(
                     receiver_id=rid,

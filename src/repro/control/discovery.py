@@ -155,6 +155,27 @@ class TopologyDiscovery:
             descriptor.session_id, root, layer_edges, visible
         )
 
+    # ------------------------------------------------------------------
+    # Repair-awareness (used when the controller fences repair windows)
+    # ------------------------------------------------------------------
+    def repair_epoch(self) -> int:
+        """The manager's repair epoch: bumped once per topology change that
+        modified at least one tree.  Lets the controller notice that trees
+        moved between ticks without diffing them."""
+        return self.mcast.repair_epoch
+
+    def disrupted_during(
+        self, descriptor: SessionDescriptor, node: Any, t0: float, t1: float
+    ) -> bool:
+        """Was ``node`` detached from any of the session's layer trees at
+        some point during ``[t0, t1]``?  Ground truth from the manager's
+        disruption windows; the controller uses it to fence loss reports
+        measured across a repair."""
+        return any(
+            self.mcast.node_disrupted_during(group, node, t0, t1)
+            for group in descriptor.groups
+        )
+
     @staticmethod
     def _clip_depth(root: Any, edges: Iterable[Tuple[Any, Any]], depth: int) -> frozenset:
         """Edges within ``depth`` hops below ``root`` (truncated discovery)."""

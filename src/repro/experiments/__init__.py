@@ -3,6 +3,7 @@ per-figure experiment drivers."""
 
 from .byzantine import build_byzantine_scenario, default_attack_plan, run_byzantine
 from .chaos import build_chaos_scenario, default_chaos_plan, run_chaos
+from .churn import build_churn_scenario, default_churn_plan, run_churn
 from .domains import build_two_domain_topology
 from .scenario import ReceiverHandle, Scenario, ScenarioResult
 from .tiered import TierSpec, build_tiered_topology
@@ -23,4 +24,7 @@ __all__ = [
     "build_byzantine_scenario",
     "default_attack_plan",
     "run_byzantine",
+    "build_churn_scenario",
+    "default_churn_plan",
+    "run_churn",
 ]

@@ -1,0 +1,345 @@
+"""Tree-churn resilience experiment: the tree-builder backend sweep.
+
+Runs the *same* seeded scenario — membership churn waves (seeded Poisson
+leave/rejoin with a Zipf bias, see :meth:`~repro.faults.plan.FaultPlan.
+membership_churn`) combined with link failures on both aggregation links —
+once per tree-builder backend (``spt``, ``degree``, ``protected``) and
+compares how each one rides it out:
+
+* **repair-time distribution** — wall-clock cost of every topology-change
+  repair, split into local patches vs full rebuilds (the protected
+  builder's precomputed backup branches should make its repairs strictly
+  cheaper than the SPT backend's full rebuilds);
+* **convergence** — time from the last link-clear (or the receiver's own
+  last rejoin, whichever is later) to the next controller suggestion;
+* **disruption** — member-seconds of lost tree coverage and total tree-edge
+  churn;
+* **guard precision/recall** — nobody lies in this experiment, so every
+  quarantine is a false positive: a backend whose repairs confuse the report
+  guard shows up as precision < 1.
+
+Controllers run with ``fence_repairs=True``: loss reports measured across a
+repair disruption window are discarded instead of being fed to the
+congestion algorithm as if they were congestion.
+
+The fault timeline (default plan): churn waves from t=10 on, ``core—agg_a``
+down at t=40 for 5 s, ``core—agg_b`` down at t=80 for 5 s.  The topology has
+a longer-delay ``agg_a—agg_b`` cross link, so every failure is locally
+repairable; the second failure hits a tree that is already running on its
+backup branch, exercising the protected builder's subtree re-rooting path.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..core.config import TopoSenseConfig
+from ..faults import FaultPlan
+from ..metrics.guard import quarantine_precision_recall
+from ..metrics.recovery import time_to_suggestion
+from ..multicast.builders import BUILDER_NAMES
+from ..obs.run import fault_log_entries
+from .scenario import Scenario
+from .topologies import BACKBONE_BW, CLASS_A_BW
+
+__all__ = [
+    "build_churn_scenario",
+    "default_churn_plan",
+    "churn_receiver_ids",
+    "run_churn",
+    "render_churn_report",
+]
+
+#: Default simulated horizon: covers the default plan plus recovery slack.
+DEFAULT_DURATION = 120.0
+
+
+def churn_receiver_ids(n_receivers: int) -> List[str]:
+    """The receiver ids :func:`build_churn_scenario` creates, in order
+    (``A*`` on the agg_a side, ``B*`` on agg_b) — used to author churn
+    plans without building a scenario first."""
+    n_a = (n_receivers + 1) // 2
+    return [f"A{i}" for i in range(n_a)] + [f"B{i}" for i in range(n_receivers - n_a)]
+
+
+def default_churn_plan(
+    receiver_ids: Sequence[Any],
+    duration: float = DEFAULT_DURATION,
+    seed: int = 0,
+) -> FaultPlan:
+    """Membership churn plus one failure per aggregation link.
+
+    The aggregation-link failures are staggered so the second one hits a
+    tree already running on its backup branch, and one receiver's *access*
+    link — which no backup path can route around — is cut for 6 s in
+    between, genuinely orphaning that receiver (disruption windows open;
+    its first post-restore loss report spans the outage and gets fenced).
+    ``ra1`` is cut rather than ``ra0`` because the Zipf churn bias makes the
+    first receiver likely to be departed anyway.  Churn ends 30 s before
+    the horizon so convergence after the last clear is measurable.
+    """
+    plan = FaultPlan()
+    plan.membership_churn(
+        receiver_ids,
+        start=10.0,
+        end=max(duration - 30.0, 11.0),
+        rate=0.12,
+        burst=1,
+        off_time=(4.0, 12.0),
+        seed=seed,
+    )
+    plan.link_flap(40.0, "core", "agg_a", down_for=5.0, times=1)
+    plan.link_flap(60.0, "agg_a", "ra1", down_for=6.0, times=1)
+    plan.link_flap(80.0, "core", "agg_b", down_for=5.0, times=1)
+    return plan
+
+
+def build_churn_scenario(
+    seed: int = 1,
+    n_receivers: int = 6,
+    interval: float = 2.0,
+    builder: Any = "spt",
+    reregister_after: float = 3.0,
+    cross_link_delay: float = 0.5,
+) -> Scenario:
+    """A Topology-A-like network **with redundancy**: the two aggregation
+    nodes are cross-linked (at ``cross_link_delay``, longer than the 0.2 s
+    primaries, so it only carries traffic as a backup path).  Every
+    single-link failure therefore leaves the network connected, which is the
+    regime where local repair beats tearing branches down.
+    """
+    if n_receivers < 1:
+        raise ValueError("need at least one receiver")
+    sc = Scenario(seed=seed, builder=builder)
+    for name in ("src", "core", "agg_a", "agg_b"):
+        sc.add_node(name)
+    sc.add_link("src", "core", bandwidth=BACKBONE_BW)
+    sc.add_link("core", "agg_a", bandwidth=BACKBONE_BW)
+    sc.add_link("core", "agg_b", bandwidth=BACKBONE_BW)
+    sc.add_link("agg_a", "agg_b", bandwidth=BACKBONE_BW, delay=cross_link_delay)
+
+    n_a = (n_receivers + 1) // 2
+    for i in range(n_a):
+        sc.add_node(f"ra{i}")
+        sc.add_link("agg_a", f"ra{i}", bandwidth=CLASS_A_BW)
+    for i in range(n_receivers - n_a):
+        sc.add_node(f"rb{i}")
+        sc.add_link("agg_b", f"rb{i}", bandwidth=CLASS_A_BW)
+
+    sess = sc.add_session("src", traffic="cbr")
+    sc.attach_controller(
+        "src",
+        config=TopoSenseConfig(interval=interval),
+        fence_repairs=True,
+    )
+    agent_kwargs = {"reregister_after": reregister_after}
+    for i in range(n_a):
+        sc.add_receiver(
+            sess.session_id, f"ra{i}", receiver_id=f"A{i}",
+            agent_kwargs=dict(agent_kwargs),
+        )
+    for i in range(n_receivers - n_a):
+        sc.add_receiver(
+            sess.session_id, f"rb{i}", receiver_id=f"B{i}",
+            agent_kwargs=dict(agent_kwargs),
+        )
+    return sc
+
+
+def _timing_stats(rows: List[Dict[str, Any]]) -> Dict[str, float]:
+    """count / mean / max (milliseconds) over repair-timing rows."""
+    if not rows:
+        return {"count": 0, "mean_ms": 0.0, "max_ms": 0.0}
+    walls = [r["wall_s"] for r in rows]
+    return {
+        "count": len(rows),
+        "mean_ms": round(sum(walls) / len(walls) * 1e3, 4),
+        "max_ms": round(max(walls) * 1e3, 4),
+    }
+
+
+def _run_one_backend(
+    backend: str,
+    seed: int,
+    duration: float,
+    n_receivers: int,
+    interval: float,
+    plan: FaultPlan,
+    within: float,
+    recorder: Optional[Any],
+) -> Dict[str, Any]:
+    sc = build_churn_scenario(
+        seed=seed, n_receivers=n_receivers, interval=interval, builder=backend
+    )
+    injector = plan.apply(sc)
+    if recorder is not None:
+        recorder.attach(sc, sample_interval=interval)
+    sc.run(duration)
+    if recorder is not None:
+        recorder.record_fault_log(injector.log)
+
+    mcast = sc.mcast
+    local = [r for r in mcast.repair_timings if r["kind"] == "local"]
+    rebuild = [r for r in mcast.repair_timings if r["kind"] == "rebuild"]
+    link_clears = sorted(
+        ev.time for ev in plan if ev.kind == "link_up" if ev.time < duration
+    )
+    last_clear = link_clears[-1] if link_clears else 0.0
+    last_join: Dict[Any, float] = {}
+    for ev in plan:
+        if ev.kind == "receiver_join":
+            rid = ev.args[0]
+            last_join[rid] = max(last_join.get(rid, 0.0), ev.time)
+
+    receivers: Dict[str, Dict[str, Any]] = {}
+    recovered_all = True
+    convergence = 0.0
+    for h in sc.receivers:
+        agent = h.agent
+        active = agent is not None and getattr(agent, "active", False)
+        ref = max(last_clear, last_join.get(h.receiver_id, 0.0))
+        scored = active and ref + within <= duration
+        dt = time_to_suggestion(agent.suggestion_times, ref) if agent else math.inf
+        recovered = dt <= within
+        if scored:
+            recovered_all = recovered_all and recovered
+            convergence = max(convergence, dt)
+        receivers[str(h.receiver_id)] = {
+            "node": h.node,
+            "active": active,
+            "scored": scored,
+            "final_level": h.receiver.level,
+            "t_suggestion_after_clear": (round(dt, 3) if math.isfinite(dt) else None),
+            "recovered": recovered,
+        }
+
+    quarantined = set()
+    fenced = 0
+    for controller in sc.controllers.values():
+        quarantined |= {rid for _sid, rid in controller.guard.quarantined_keys()}
+        fenced += controller.reports_fenced
+    # Nobody lies under pure churn: ground truth is the empty liar set, so
+    # any quarantine at all costs precision.
+    guard_pr = quarantine_precision_recall(quarantined, [])
+
+    orphan_s = sum(mcast.orphan_seconds(g, until=duration) for g in sorted(mcast.groups))
+    return {
+        "backend": backend,
+        "builds": mcast.builds,
+        "local_repairs": mcast.local_repairs,
+        "rebuild_repairs": mcast.rebuild_repairs,
+        "groups_skipped": mcast.groups_skipped,
+        "repair_epoch": mcast.repair_epoch,
+        "repair_ms": {"local": _timing_stats(local), "rebuild": _timing_stats(rebuild)},
+        "tree_edges_churned": sum(
+            r["edges_removed"] + r["edges_added"] for r in mcast.repair_timings
+        ),
+        "orphan_member_seconds": round(orphan_s, 3),
+        "convergence_s": round(convergence, 3),
+        "reports_fenced": fenced,
+        "guard": guard_pr,
+        "receivers": receivers,
+        "recovered_all": recovered_all,
+        "fault_log": fault_log_entries(injector.log),
+    }
+
+
+def run_churn(
+    seed: int = 1,
+    duration: float = DEFAULT_DURATION,
+    n_receivers: int = 6,
+    interval: float = 2.0,
+    backends: Optional[Sequence[str]] = None,
+    plan: Optional[FaultPlan] = None,
+    recover_intervals: float = 4.0,
+    recorder: Optional[Any] = None,
+) -> Dict[str, Any]:
+    """Run the churn scenario once per backend and score the sweep.
+
+    Every backend replays the *identical* ``(seed, plan)`` pair.  The
+    returned dict is JSON-friendly; ``result["ok"]`` is True when
+
+    * every scored receiver of every backend got a controller suggestion
+      within ``recover_intervals`` control intervals of the later of the
+      last link-clear and its own last rejoin,
+    * the protected builder healed at least one failure with a local patch,
+      and
+    * its mean local-repair wall time undercuts the SPT backend's mean
+      full-rebuild wall time (when both backends ran and repaired).
+
+    A :class:`~repro.obs.run.RunRecorder` passed as ``recorder`` records the
+    **last** backend in the sweep (``protected`` in the default order).
+    """
+    names = list(backends) if backends else list(BUILDER_NAMES)
+    for name in names:
+        if name not in BUILDER_NAMES:
+            raise ValueError(f"unknown backend {name!r} (choose from {BUILDER_NAMES})")
+    if plan is None:
+        plan = default_churn_plan(
+            churn_receiver_ids(n_receivers), duration=duration, seed=seed
+        )
+    within = recover_intervals * interval
+    per_backend: Dict[str, Dict[str, Any]] = {}
+    for name in names:
+        per_backend[name] = _run_one_backend(
+            name, seed, duration, n_receivers, interval, plan, within,
+            recorder if name == names[-1] else None,
+        )
+
+    ok = all(b["recovered_all"] for b in per_backend.values())
+    prot = per_backend.get("protected")
+    spt = per_backend.get("spt")
+    if prot is not None:
+        ok = ok and prot["local_repairs"] >= 1
+        if (
+            spt is not None
+            and prot["repair_ms"]["local"]["count"]
+            and spt["repair_ms"]["rebuild"]["count"]
+        ):
+            ok = ok and (
+                prot["repair_ms"]["local"]["mean_ms"]
+                < spt["repair_ms"]["rebuild"]["mean_ms"]
+            )
+    return {
+        "seed": seed,
+        "duration": duration,
+        "interval": interval,
+        "recover_within": within,
+        "backends": names,
+        "plan": plan.to_dicts(),
+        "per_backend": per_backend,
+        "ok": ok,
+    }
+
+
+def render_churn_report(result: Dict[str, Any]) -> str:
+    """Human-readable rendering of a :func:`run_churn` result."""
+    lines = [
+        f"churn seed={result['seed']} duration={result['duration']:.0f}s "
+        f"interval={result['interval']:.1f}s backends={','.join(result['backends'])} "
+        f"(recover within {result['recover_within']:.1f}s)",
+        f"plan: {len(result['plan'])} fault events",
+    ]
+    for name in result["backends"]:
+        b = result["per_backend"][name]
+        loc, reb = b["repair_ms"]["local"], b["repair_ms"]["rebuild"]
+        lines.append(
+            f"  {name:<10} repairs: {b['local_repairs']} local "
+            f"(mean {loc['mean_ms']:.3f} ms), {b['rebuild_repairs']} rebuild "
+            f"(mean {reb['mean_ms']:.3f} ms), {b['groups_skipped']} groups skipped"
+        )
+        lines.append(
+            f"  {'':<10} orphan {b['orphan_member_seconds']:.1f} member-s, "
+            f"{b['tree_edges_churned']} tree edges churned, "
+            f"convergence {b['convergence_s']:.1f}s, "
+            f"{b['reports_fenced']} reports fenced, "
+            f"guard precision {b['guard']['precision']:.2f} "
+            f"recall {b['guard']['recall']:.2f} "
+            f"{'OK' if b['recovered_all'] else 'FAILED'}"
+        )
+    lines.append("RESULT: " + (
+        "OK — all backends recovered; protected repaired locally and faster"
+        if result["ok"] else "FAILED — see per-backend lines above"
+    ))
+    return "\n".join(lines)

@@ -78,11 +78,13 @@ class Scenario:
         igmp_report_delay: float = 0.05,
         default_queue_limit: int = 32,
         default_delay: float = 0.2,
+        builder: Any = "spt",
     ):
         self.sched = Scheduler()
         self.network = Network(self.sched)
         self.mcast = MulticastManager(
-            self.network, leave_latency=leave_latency, igmp_report_delay=igmp_report_delay
+            self.network, leave_latency=leave_latency,
+            igmp_report_delay=igmp_report_delay, builder=builder,
         )
         self.rngs = RngRegistry(seed)
         self.seed = seed
@@ -98,6 +100,7 @@ class Scenario:
         self._standby_nodes: Dict[str, Any] = {}
         self._session_counter = 0
         self._receiver_counter = 0
+        self._rejoin_counts: Dict[Any, int] = {}
         self._routes_built = False
         self._ran = False
 
@@ -230,6 +233,7 @@ class Scenario:
         guard: Optional[Any] = None,
         registration_ttl_intervals: Optional[float] = 10.0,
         quarantine_level: int = 1,
+        fence_repairs: bool = False,
     ) -> ControllerAgent:
         """Station a controller agent at ``node``.
 
@@ -251,6 +255,12 @@ class Scenario:
         :mod:`repro.control.guard`); the controller's quarantine enforcer is
         wired to this scenario's multicast manager so quarantined receivers
         are pruned from layer groups above ``quarantine_level``.
+
+        ``fence_repairs`` makes the controller discard receiver reports whose
+        measurement window overlaps a tree-repair disruption at that
+        receiver's node (see DESIGN.md §12): a receiver on a detached
+        subtree legitimately saw 100% loss, and feeding that to the
+        congestion algorithm would be mistaken for congestion.
         """
         if name in self.controllers:
             raise ValueError(f"controller {name!r} already attached")
@@ -273,6 +283,7 @@ class Scenario:
             guard=guard,
             registration_ttl_intervals=registration_ttl_intervals,
             quarantine_level=quarantine_level,
+            fence_repairs=fence_repairs,
         )
         controller.attach_enforcer(self.quarantine_enforcer)
         self.discoveries[name] = discovery
@@ -389,6 +400,45 @@ class Scenario:
             handle.agent.stop()
         if handle.receiver.level > 0:
             handle.receiver.set_level(0)
+
+    def reattach_receiver(self, handle: ReceiverHandle) -> None:
+        """Bring a departed receiver back (membership churn).
+
+        Resubscribes the receiver at level 1 and starts a *fresh* control
+        agent — the old one's periodic callbacks have stopped for good — on
+        a new deterministic RNG stream keyed by the rejoin count, so churn
+        runs replay bit-for-bit.
+        """
+        if handle.receiver.level == 0:
+            handle.receiver.set_level(1)
+        n = self._rejoin_counts.get(handle.receiver_id, 0) + 1
+        self._rejoin_counts[handle.receiver_id] = n
+        if handle.mode == "controlled":
+            controller = self.controllers.get(handle.controller_name)
+            if controller is None:
+                raise ValueError(
+                    f"receiver {handle.receiver_id!r} needs controller "
+                    f"{handle.controller_name!r}: attach_controller() first"
+                )
+            candidates = [self._controller_nodes[handle.controller_name]]
+            standby = self._standby_nodes.get(handle.controller_name)
+            if standby is not None:
+                candidates.append(standby)
+            handle.agent = ReceiverAgent(
+                handle.receiver,
+                candidates[0],
+                interval=controller.interval,
+                rng=self.rngs.fork(f"rcvagent/{handle.receiver_id}/rejoin{n}"),
+                controller_candidates=candidates,
+                **(handle.agent_kwargs or {}),
+            )
+            handle.agent.start()
+        elif handle.mode == "rlm":
+            handle.agent = RLMReceiver(
+                handle.receiver,
+                rng=self.rngs.fork(f"rlm/{handle.receiver_id}/rejoin{n}"),
+            )
+            handle.agent.start()
 
 
 class ScenarioResult:

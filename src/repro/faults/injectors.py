@@ -30,6 +30,7 @@ __all__ = [
     "ControllerFault",
     "DiscoveryFault",
     "ByzantineReceiverFault",
+    "MembershipFault",
     "PacketCorruptionFault",
     "FaultInjector",
 ]
@@ -44,20 +45,21 @@ class LinkFault:
         # (a, b) -> original bandwidth, for restore() after degrade().
         self._original_bw = {}
 
-    def _topology_changed(self) -> None:
+    def _topology_changed(self, removed=(), added=()) -> None:
         self.network.build_routes()
-        self.mcast.on_topology_change()
+        self.mcast.on_topology_change(removed_edges=removed, added_edges=added)
 
     def down(self, a: Any, b: Any, bidirectional: bool = True) -> None:
-        """Fail the link: queued packets dropped, trees regrafted around it
-        (torn down entirely when no alternate path exists)."""
-        self.network.set_link_up(a, b, False, bidirectional=bidirectional)
-        self._topology_changed()
+        """Fail the link: queued packets dropped, trees repaired around it
+        (locally patched by protecting builders, torn down entirely when no
+        alternate path exists)."""
+        removed = self.network.set_link_up(a, b, False, bidirectional=bidirectional)
+        self._topology_changed(removed=removed)
 
     def up(self, a: Any, b: Any, bidirectional: bool = True) -> None:
         """Repair the link and regraft severed branches through it."""
-        self.network.set_link_up(a, b, True, bidirectional=bidirectional)
-        self._topology_changed()
+        added = self.network.set_link_up(a, b, True, bidirectional=bidirectional)
+        self._topology_changed(added=added)
 
     def degrade(self, a: Any, b: Any, factor: float, bidirectional: bool = True) -> None:
         """Scale the link's capacity by ``factor`` (e.g. 0.25 = quarter rate)."""
@@ -86,16 +88,16 @@ class NodeFault:
     def crash(self, name: Any) -> None:
         """Fail the node: bound ports, forwarding state and all incident
         links (with their queued packets) are lost."""
-        self.network.set_node_up(name, False)
+        removed = self.network.set_node_up(name, False)
         self.network.build_routes()
-        self.mcast.on_topology_change()
+        self.mcast.on_topology_change(removed_edges=removed)
 
     def recover(self, name: Any) -> None:
         """Bring the node back; multicast branches through it regraft, and
         surviving applications re-bind ports via their re-register paths."""
-        self.network.set_node_up(name, True)
+        added = self.network.set_node_up(name, True)
         self.network.build_routes()
-        self.mcast.on_topology_change()
+        self.mcast.on_topology_change(added_edges=added)
 
 
 class ControllerFault:
@@ -155,6 +157,7 @@ class ControllerFault:
             initial_epoch=primary.epoch + 1,
             registration_ttl_intervals=primary.registration_ttl_intervals,
             quarantine_level=primary.quarantine_level,
+            fence_repairs=primary.fence_repairs,
         )
         standby.attach_enforcer(primary._enforcer)
         if not cold:
@@ -217,6 +220,43 @@ class ByzantineReceiverFault:
     def stop(self, receiver_id: Any) -> None:
         """Restore honest behaviour."""
         self._agent(receiver_id).set_byzantine(None)
+
+
+class MembershipFault:
+    """Receiver churn: whole receivers depart and (re)arrive.
+
+    ``leave`` detaches the receiver like :meth:`~repro.experiments.scenario.
+    Scenario.detach_receiver` (its control agent stops, its subscription
+    drops to zero, its groups prune after the usual leave latency);
+    ``join`` re-attaches it via :meth:`~repro.experiments.scenario.Scenario.
+    reattach_receiver`, which builds a fresh control agent with its own
+    deterministic RNG stream.  Both are idempotent — a leave for an already
+    departed receiver (or a join for a present one) is a no-op, so seeded
+    churn plans need not track membership state.
+    """
+
+    def __init__(self, scenario):
+        self.scenario = scenario
+
+    def _handle(self, receiver_id: Any):
+        for handle in self.scenario.receivers:
+            if handle.receiver_id == receiver_id:
+                return handle
+        raise KeyError(f"unknown receiver {receiver_id!r}")
+
+    def leave(self, receiver_id: Any) -> None:
+        """Depart: stop the agent, unsubscribe from every layer group."""
+        handle = self._handle(receiver_id)
+        if handle.agent is not None and not getattr(handle.agent, "active", True):
+            return  # already departed
+        self.scenario.detach_receiver(handle)
+
+    def join(self, receiver_id: Any) -> None:
+        """(Re)arrive with a fresh control agent at the same node."""
+        handle = self._handle(receiver_id)
+        if handle.agent is not None and getattr(handle.agent, "active", False):
+            return  # already present
+        self.scenario.reattach_receiver(handle)
 
 
 class PacketCorruptionFault:
@@ -318,7 +358,7 @@ class PacketCorruptionFault:
 
 
 class FaultInjector:
-    """Binds the six injectors to one scenario and dispatches plan events.
+    """Binds the injectors to one scenario and dispatches plan events.
 
     Every executed event is appended to :attr:`log` as
     ``(sim_time, kind, detail)`` so experiments and tests can correlate
@@ -332,6 +372,7 @@ class FaultInjector:
         self.controllers = ControllerFault(scenario)
         self.discovery = DiscoveryFault(scenario)
         self.byzantine = ByzantineReceiverFault(scenario)
+        self.membership = MembershipFault(scenario)
         self.wire = PacketCorruptionFault(scenario)
         self.log: List[Tuple[float, str, str]] = []
 
@@ -389,6 +430,12 @@ class FaultInjector:
 
     def _do_byzantine_stop(self, receiver_id):
         self.byzantine.stop(receiver_id)
+
+    def _do_receiver_leave(self, receiver_id):
+        self.membership.leave(receiver_id)
+
+    def _do_receiver_join(self, receiver_id):
+        self.membership.join(receiver_id)
 
     def _do_control_corrupt(self, node, mode="garble", rate=1.0):
         self.wire.corrupt(node, mode=mode, rate=rate)

@@ -15,7 +15,7 @@ so chaos runs can be stored as JSON and replayed by ``tools/run_chaos.py``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = ["FaultEvent", "FaultPlan"]
 
@@ -37,6 +37,8 @@ KINDS = (
     "byzantine_stop",
     "control_corrupt",
     "control_restore",
+    "receiver_leave",
+    "receiver_join",
 )
 
 
@@ -151,6 +153,67 @@ class FaultPlan:
             raise ValueError(f"unknown discovery outage mode {mode!r}")
         return self.add(end, "discovery_restore", name=name)
 
+    # -- membership -----------------------------------------------------
+    def leave_receiver(self, time: float, receiver_id: Any) -> "FaultPlan":
+        """The receiver departs (agent stops, subscription drops to 0)."""
+        return self.add(time, "receiver_leave", receiver_id)
+
+    def join_receiver(self, time: float, receiver_id: Any) -> "FaultPlan":
+        """The receiver (re)arrives with a fresh control agent."""
+        return self.add(time, "receiver_join", receiver_id)
+
+    def membership_churn(
+        self,
+        receivers: Sequence[Any],
+        start: float,
+        end: float,
+        rate: float = 0.1,
+        burst: int = 1,
+        off_time: Tuple[float, float] = (4.0, 12.0),
+        zipf_s: float = 1.1,
+        seed: int = 0,
+    ) -> "FaultPlan":
+        """Seeded join/leave waves over ``[start, end)``.
+
+        Leave waves arrive as a Poisson process of mean ``rate`` waves per
+        second; each wave picks ``burst`` receivers (with a Zipf(``zipf_s``)
+        bias over ``receivers``'s order, so a few receivers churn far more
+        than the rest) to depart, each rejoining after a uniform draw from
+        ``off_time`` seconds.  Randomness is consumed *here*, from a private
+        ``default_rng(seed)``: the emitted plan is a concrete, ordered list
+        of ``receiver_leave``/``receiver_join`` events that round-trips
+        through JSON and replays identically, like every other fault kind.
+        """
+        import numpy as np
+
+        receivers = list(receivers)
+        if not receivers:
+            raise ValueError("need at least one receiver to churn")
+        if end <= start:
+            raise ValueError("need end > start")
+        if rate <= 0 or burst < 1:
+            raise ValueError("need rate > 0 and burst >= 1")
+        lo, hi = off_time
+        if not 0 < lo <= hi:
+            raise ValueError("off_time must be (lo, hi) with 0 < lo <= hi")
+        if zipf_s <= 0:
+            raise ValueError("zipf_s must be positive")
+        rng = np.random.default_rng(seed)
+        weights = np.array([1.0 / (k + 1) ** zipf_s for k in range(len(receivers))])
+        weights /= weights.sum()
+        t = start + float(rng.exponential(1.0 / rate))
+        while t < end:
+            picks = rng.choice(len(receivers), size=min(burst, len(receivers)),
+                               replace=False, p=weights)
+            for idx in picks:
+                rid = receivers[int(idx)]
+                self.leave_receiver(round(t, 6), rid)
+                back = t + float(rng.uniform(lo, hi))
+                if back < end:
+                    self.join_receiver(round(back, 6), rid)
+            t += float(rng.exponential(1.0 / rate))
+        return self
+
     # -- adversaries ----------------------------------------------------
     def byzantine(self, time: float, receiver_id: Any, mode: str) -> "FaultPlan":
         """Turn the receiver byzantine: ``mode`` is ``lie_high``,
@@ -232,6 +295,7 @@ class FaultPlan:
         "discovery_restore": ("discovery_blackout", "discovery_truncate"),
         "byzantine_stop": ("byzantine_start",),
         "control_restore": ("control_corrupt",),
+        "receiver_join": ("receiver_leave",),
     }
 
     @staticmethod

@@ -1,0 +1,330 @@
+"""Pluggable distribution-tree construction strategies.
+
+The paper treats the multicast tree as *given* — the controller exploits its
+shape, whatever built it.  The related SDN-multicast line (Cho & Breen's
+dynamic low-delay routing; per-link protected trees) treats construction and
+repair as replaceable strategies.  This module makes that explicit: a
+:class:`TreeBuilder` turns ``(source, members, network)`` into a directed
+edge set, and optionally heals a damaged tree with a *local*
+:class:`TreePatch` instead of a global rebuild.
+
+Three backends ship:
+
+* :class:`SPTBuilder` (``"spt"``, the default) — the union of delay-weighted
+  shortest paths from the source to each member.  Bit-for-bit identical to
+  the tree the manager historically built inline; every repair is a full
+  rebuild.
+* :class:`DegreeBoundedBuilder` (``"degree"``) — a greedy low-delay Steiner
+  heuristic that caps each node's fan-out.  Members attach to the nearest
+  on-tree node with spare out-degree; the exact degree-bounded minimum-delay
+  tree is NP-hard, so the bound is best-effort (a member with no eligible
+  attach point falls back to its plain shortest path).
+* :class:`ProtectedTreeBuilder` (``"protected"``) — an SPT whose
+  :meth:`~ProtectedTreeBuilder.precompute` pass stores a backup branch for
+  every tree link (the shortest path that avoids it).  A single link or
+  leaf-node failure is then healed by splicing the precomputed branch and
+  regrafting only the orphaned subtree; anything the backups cannot cover
+  degrades to a full rebuild.
+
+Builders are selected by name through :func:`make_builder` (the knob behind
+``MulticastManager(builder=...)``, ``Scenario(builder=...)`` and
+``python -m repro churn --backends``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+__all__ = [
+    "BUILDER_NAMES",
+    "DegreeBoundedBuilder",
+    "ProtectedTreeBuilder",
+    "SPTBuilder",
+    "TreeBuilder",
+    "TreePatch",
+    "make_builder",
+]
+
+Edge = Tuple[Any, Any]
+
+
+class TreePatch:
+    """A local tree repair: edges to remove and edges to splice in."""
+
+    __slots__ = ("removed", "added")
+
+    def __init__(self, removed: Iterable[Edge], added: Iterable[Edge]):
+        self.removed: FrozenSet[Edge] = frozenset(removed)
+        self.added: FrozenSet[Edge] = frozenset(added)
+
+    def apply(self, edges: Set[Edge]) -> Set[Edge]:
+        """The patched edge set (input is not mutated)."""
+        return (set(edges) - self.removed) | self.added
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TreePatch -{sorted(map(str, self.removed))} +{sorted(map(str, self.added))}>"
+
+
+class TreeBuilder:
+    """Strategy protocol for building and repairing distribution trees.
+
+    ``build(source, members, network) -> edges`` returns the directed edge
+    set of the tree; ``repair(state, failed_edges, network) -> patch``
+    returns a :class:`TreePatch` healing the loss of ``failed_edges`` from
+    ``state``'s tree, or ``None`` when only a full rebuild can (the manager
+    then falls back to :meth:`build`).  ``precompute(state, network)`` is an
+    optional hook the manager calls after installing a fresh tree, for
+    backends that prepare repair material ahead of failures.
+    """
+
+    name = "abstract"
+
+    def build(self, source: Any, members: Iterable[Any], network) -> Set[Edge]:
+        raise NotImplementedError
+
+    def repair(self, state, failed_edges: Iterable[Edge], network) -> Optional[TreePatch]:
+        return None
+
+    def precompute(self, state, network) -> None:  # noqa: B027 - optional hook
+        pass
+
+
+def _spt_edges(source: Any, members: Iterable[Any], network) -> Set[Edge]:
+    """Union of delay-weighted shortest paths source -> each member."""
+    edges: Set[Edge] = set()
+    for member in members:
+        path = network.shortest_path_or_none(source, member)
+        if path is None:
+            continue
+        for u, v in zip(path, path[1:]):
+            edges.add((u, v))
+    return edges
+
+
+class SPTBuilder(TreeBuilder):
+    """Source-based shortest-path tree — the historical default.
+
+    This is exactly the computation the manager used to inline: what
+    DVMRP/PIM-SM(SSM) converge to in ns-2, and the premise of the paper's
+    evaluation.  It never repairs locally; the manager's full-rebuild path
+    (which is this same computation) handles every failure.
+    """
+
+    name = "spt"
+
+    def build(self, source: Any, members: Iterable[Any], network) -> Set[Edge]:
+        return _spt_edges(source, members, network)
+
+
+class DegreeBoundedBuilder(TreeBuilder):
+    """Greedy degree-bounded low-delay tree (Cho & Breen style).
+
+    Members are processed nearest-first (delay from the source, ties broken
+    by name).  Each attaches via the cheapest path from an on-tree node that
+    still has spare out-degree; the walk stops at the deepest node already
+    on the tree, so shared prefixes are reused exactly like a graft.  The
+    bound is best-effort: when no node with capacity can reach a member, the
+    member takes its plain shortest path from the source (reachability wins
+    over fan-out).
+    """
+
+    name = "degree"
+
+    def __init__(self, max_degree: int = 4):
+        if max_degree < 1:
+            raise ValueError("max_degree must be >= 1")
+        self.max_degree = max_degree
+
+    def build(self, source: Any, members: Iterable[Any], network) -> Set[Edge]:
+        reachable: List[Tuple[float, str, Any]] = []
+        for member in members:
+            if member == source:
+                continue
+            path = network.shortest_path_or_none(source, member)
+            if path is None:
+                continue
+            delay = sum(
+                network.graph.edges[u, v]["delay"] for u, v in zip(path, path[1:])
+            )
+            reachable.append((delay, str(member), member))
+        edges: Set[Edge] = set()
+        tree_nodes: Set[Any] = {source}
+        fanout: Dict[Any, int] = {}
+        for _, _, member in sorted(reachable):
+            if member in tree_nodes:
+                continue
+            best: Optional[Tuple[float, str, list]] = None
+            for attach in tree_nodes:
+                if fanout.get(attach, 0) >= self.max_degree:
+                    continue
+                path = network.shortest_path_or_none(attach, member)
+                if path is None:
+                    continue
+                delay = sum(
+                    network.graph.edges[u, v]["delay"] for u, v in zip(path, path[1:])
+                )
+                candidate = (delay, str(attach), path)
+                if best is None or candidate < best:
+                    best = candidate
+            if best is None:
+                path = network.shortest_path_or_none(source, member)
+                if path is None:
+                    continue
+            else:
+                path = best[2]
+            # Only graft below the deepest node already on the tree, so the
+            # chosen path cannot give an on-tree node a second parent.
+            start = 0
+            for i, node in enumerate(path):
+                if node in tree_nodes:
+                    start = i
+            for u, v in zip(path[start:], path[start + 1:]):
+                edges.add((u, v))
+                fanout[u] = fanout.get(u, 0) + 1
+                tree_nodes.add(u)
+                tree_nodes.add(v)
+        return edges
+
+
+class ProtectedTreeBuilder(TreeBuilder):
+    """SPT plus precomputed per-link backup branches for local repair.
+
+    After every (re)build, :meth:`precompute` stores — for each tree edge
+    ``(u, v)`` — the cheapest path from the source to ``v`` that avoids the
+    edge in both directions.  When a single tree link later fails,
+    :meth:`repair` splices that stored branch in at the deepest surviving
+    tree node and regrafts only the orphaned subtree (re-rooting it when the
+    backup enters the subtree somewhere other than its old root), leaving the
+    rest of the tree — and its receivers — untouched.
+    """
+
+    name = "protected"
+
+    def __init__(self) -> None:
+        # group -> {tree edge -> backup path (node list, source..v)}
+        self._backups: Dict[int, Dict[Edge, Tuple[Any, ...]]] = {}
+
+    def build(self, source: Any, members: Iterable[Any], network) -> Set[Edge]:
+        return _spt_edges(source, members, network)
+
+    def precompute(self, state, network) -> None:
+        backups: Dict[Edge, Tuple[Any, ...]] = {}
+        graph = network.graph
+        for u, v in state.edges:
+            removed = []
+            for a, b in ((u, v), (v, u)):
+                if graph.has_edge(a, b):
+                    removed.append((a, b, dict(graph.edges[a, b])))
+                    graph.remove_edge(a, b)
+            try:
+                path = network.shortest_path_or_none(state.source, v)
+            finally:
+                for a, b, attrs in removed:
+                    graph.add_edge(a, b, **attrs)
+            if path is not None:
+                backups[(u, v)] = tuple(path)
+        self._backups[state.group] = backups
+
+    # ------------------------------------------------------------------
+    def repair(self, state, failed_edges: Iterable[Edge], network) -> Optional[TreePatch]:
+        failed = {e for e in failed_edges if e in state.edges}
+        if len(failed) != 1:
+            return None  # only single-failure protection is precomputed
+        (u, v) = next(iter(failed))
+        backup = self._backups.get(state.group, {}).get((u, v))
+        if backup is None:
+            return None
+        children: Dict[Any, List[Any]] = {}
+        for a, b in state.edges:
+            children.setdefault(a, []).append(b)
+        orphan_nodes = self._subtree_nodes(v, children)
+        remaining = (state.tree_nodes() - orphan_nodes) - {x for _, x in failed}
+        # Splice from the deepest backup-path node that survived in the main
+        # tree, stopping at the first node inside the orphaned subtree.
+        start = None
+        for i, node in enumerate(backup):
+            if node in remaining:
+                start = i
+            elif node in orphan_nodes:
+                entry_idx = i
+                break
+        else:
+            entry_idx = len(backup) - 1  # ends at v, which is in orphan_nodes
+        if start is None:
+            return None
+        entry = backup[entry_idx]
+        added = set(zip(backup[start:entry_idx], backup[start + 1:entry_idx + 1]))
+        removed = set(failed)
+        if entry != v:
+            # Re-root the orphaned subtree at the entry point: reverse the
+            # old v -> ... -> entry chain.
+            chain = self._tree_path(v, entry, children)
+            if chain is None:
+                return None
+            for a, b in zip(chain, chain[1:]):
+                removed.add((a, b))
+                added.add((b, a))
+        patch = TreePatch(removed, added)
+        if not self._valid(state, patch, network):
+            return None
+        return patch
+
+    @staticmethod
+    def _subtree_nodes(root: Any, children: Dict[Any, List[Any]]) -> Set[Any]:
+        nodes = {root}
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            for child in children.get(node, ()):
+                if child not in nodes:
+                    nodes.add(child)
+                    stack.append(child)
+        return nodes
+
+    @staticmethod
+    def _tree_path(root: Any, target: Any, children: Dict[Any, List[Any]]) -> Optional[list]:
+        stack = [[root]]
+        while stack:
+            path = stack.pop()
+            if path[-1] == target:
+                return path
+            for child in children.get(path[-1], ()):
+                stack.append(path + [child])
+        return None
+
+    @staticmethod
+    def _valid(state, patch: TreePatch, network) -> bool:
+        """Reject patches the current topology cannot carry.
+
+        Every spliced edge must be alive, and the patched edge set must
+        still be a tree under the source (in-degree <= 1, no parent for the
+        source, acyclic by construction of the splice).
+        """
+        for a, b in patch.added:
+            if not network.graph.has_edge(a, b):
+                return False
+        edges = patch.apply(state.edges)
+        indeg: Dict[Any, int] = {}
+        for a, b in edges:
+            indeg[b] = indeg.get(b, 0) + 1
+            if indeg[b] > 1 or b == state.source:
+                return False
+        return True
+
+
+#: Registered backend names, in the order experiments sweep them.
+BUILDER_NAMES = ("spt", "degree", "protected")
+
+
+def make_builder(spec: Any = "spt", **kwargs: Any) -> TreeBuilder:
+    """Resolve a builder from a name (``"spt"``, ``"degree"``,
+    ``"protected"``) or pass an instance straight through."""
+    if isinstance(spec, TreeBuilder):
+        return spec
+    if spec == "spt" or spec is None:
+        return SPTBuilder(**kwargs)
+    if spec == "degree":
+        return DegreeBoundedBuilder(**kwargs)
+    if spec == "protected":
+        return ProtectedTreeBuilder(**kwargs)
+    raise ValueError(f"unknown tree builder {spec!r} (choose from {BUILDER_NAMES})")

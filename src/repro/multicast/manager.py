@@ -3,9 +3,12 @@
 The manager models the pieces of IP multicast the paper's evaluation depends
 on, without simulating a routing protocol packet-by-packet:
 
-* **Source-based shortest-path trees** — the distribution tree for a group is
-  the union of delay-weighted shortest paths from the source to each member,
-  which is what DVMRP/PIM-SM(SSM) converge to in ns-2.
+* **Pluggable distribution trees** — tree construction is a strategy object
+  (:mod:`repro.multicast.builders`).  The default :class:`~repro.multicast.
+  builders.SPTBuilder` is the union of delay-weighted shortest paths from the
+  source to each member, which is what DVMRP/PIM-SM(SSM) converge to in
+  ns-2; alternative backends bound node fan-out or precompute per-link
+  backup branches for fast local repair.
 * **Graft latency** — a join becomes effective after the time a graft message
   needs to travel from the joining host up to the nearest on-tree router
   (plus a small IGMP report delay).
@@ -17,19 +20,34 @@ The manager records a **snapshot history** of ``(time, members, edges)`` per
 group.  The topology-discovery tool (:mod:`repro.control.discovery`) serves
 stale snapshots out of this history, which is how the paper's Fig. 10
 staleness experiment is reproduced.
+
+Failure handling is **incremental**: fault injectors pass the concrete edges
+a link/node change removed or restored to :meth:`MulticastManager.
+on_topology_change`, which touches only the groups whose tree actually lost
+an edge (or that have orphaned members a restored edge might reconnect).  A
+builder that can, heals the loss with a local :class:`~repro.multicast.
+builders.TreePatch`; otherwise the group falls back to a full rebuild.  The
+manager tracks per-member *disruption windows* (orphaned intervals) and a
+monotonically increasing :attr:`~MulticastManager.repair_epoch` so the
+control plane can fence reports measured across a repair.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+from time import perf_counter
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..simnet.topology import Network
 from .addressing import GroupAllocator
+from .builders import TreeBuilder, make_builder
 
 __all__ = ["GroupState", "MulticastManager", "TreeSnapshot"]
 
 Edge = Tuple[Any, Any]
+
+#: Closed disruption windows retained per group (oldest dropped beyond this).
+MAX_DISRUPTIONS = 256
 
 
 class TreeSnapshot:
@@ -59,6 +77,20 @@ class GroupState:
         self.blocked: Set[Any] = set()
         self.edges: Set[Edge] = set()
         self.history: List[TreeSnapshot] = []
+        #: Members the current tree does not reach (no path from the source);
+        #: a restored edge may reconnect them, so on_topology_change treats
+        #: any group with uncovered members as touched by edge additions.
+        self.uncovered: Set[Any] = set()
+        #: True while the tree deviates from the builder's canonical shape
+        #: because a topology-change repair re-routed it.  Restored edges
+        #: re-examine patched groups so every layer reverts to the canonical
+        #: build together — layer trees that disagree about a node's parent
+        #: would no longer merge into one session tree.
+        self.patched = False
+        #: member -> time it lost coverage (open disruption windows).
+        self.orphan_since: Dict[Any, float] = {}
+        #: Closed disruption windows ``(member, t0, t1)``, oldest first.
+        self.disruptions: List[Tuple[Any, float, float]] = []
 
     def tree_nodes(self) -> Set[Any]:
         """All nodes currently spanned by the distribution tree."""
@@ -89,6 +121,11 @@ class MulticastManager:
         message (per-hop delay up to the branch point) instead of waiting
         the full IGMP timeout — routers already know there is no other
         downstream receiver.
+    builder:
+        Tree-construction backend: a :class:`~repro.multicast.builders.
+        TreeBuilder` instance or one of the registered names (``"spt"``,
+        ``"degree"``, ``"protected"``).  Defaults to the shortest-path tree
+        the manager has always built.
     """
 
     def __init__(
@@ -97,6 +134,7 @@ class MulticastManager:
         leave_latency: float = 2.0,
         igmp_report_delay: float = 0.05,
         expedited_leave: bool = False,
+        builder: Any = "spt",
     ):
         if leave_latency < 0 or igmp_report_delay < 0:
             raise ValueError("latencies must be non-negative")
@@ -105,8 +143,27 @@ class MulticastManager:
         self.leave_latency = leave_latency
         self.igmp_report_delay = igmp_report_delay
         self.expedited_leave = expedited_leave
+        self.builder: TreeBuilder = make_builder(builder)
         self.groups: Dict[int, GroupState] = {}
         self.allocator = GroupAllocator()
+        #: Optional :class:`~repro.obs.profile.Profiler`; when set, tree
+        #: construction charges ``tree.build`` and local repairs charge
+        #: ``tree.repair`` (surfaced by ``python -m repro bench``).
+        self.profiler: Optional[Any] = None
+        #: Bumped whenever a topology change modifies at least one tree;
+        #: the control plane reads it (via discovery) to notice repairs.
+        self.repair_epoch = 0
+        #: Full tree computations run (membership changes + rebuild repairs).
+        self.builds = 0
+        #: Topology-change repairs served by a local patch vs a full rebuild.
+        self.local_repairs = 0
+        self.rebuild_repairs = 0
+        #: Groups skipped by incremental :meth:`on_topology_change` calls.
+        self.groups_skipped = 0
+        #: Wall-clock timings of topology-change repairs:
+        #: ``{"time", "group", "kind": "local"|"rebuild", "wall_s",
+        #:    "edges_removed", "edges_added"}``.
+        self.repair_timings: List[Dict[str, Any]] = []
 
     # ------------------------------------------------------------------
     # Group lifecycle
@@ -231,25 +288,105 @@ class MulticastManager:
     # ------------------------------------------------------------------
     # Fault reaction
     # ------------------------------------------------------------------
-    def on_topology_change(self) -> int:
-        """Re-run tree computation for every group after links/nodes changed.
-
-        Dead branches are torn down (members behind a failed link/node stop
-        receiving, their forwarding state is removed) and previously severed
-        branches are regrafted along the new shortest paths.  Returns the
-        number of groups whose tree actually changed.
+    def on_topology_change(
+        self,
+        removed_edges: Optional[Iterable[Edge]] = None,
+        added_edges: Optional[Iterable[Edge]] = None,
+    ) -> int:
+        """React to links/nodes changing; returns groups whose tree changed.
 
         Fault injectors call this after :meth:`Network.set_link_up` /
-        :meth:`Network.set_node_up` + ``build_routes()``; membership intent
+        :meth:`Network.set_node_up` + ``build_routes()``, passing the edges
+        those calls actually removed/restored; membership intent
         (``desired``/``members``) is deliberately preserved so recovery is
         automatic.
+
+        With edge sets given, the reaction is **incremental**: a group is
+        only touched when its tree lost one of ``removed_edges`` (healed by
+        the builder's local :meth:`~repro.multicast.builders.TreeBuilder.
+        repair` when it can, a full rebuild otherwise), or when
+        ``added_edges`` arrive and the group has uncovered members to
+        reconnect or a repair-rerouted (*patched*) tree to revert to the
+        canonical build.  Untouched groups are skipped entirely — no
+        recomputation, no snapshot.
+
+        Called with no arguments (the legacy form), every group is
+        re-examined with a full tree computation.
         """
+        removed = set(removed_edges) if removed_edges is not None else None
+        added = set(added_edges) if added_edges is not None else None
+        incremental = removed is not None or added is not None
         changed = 0
+        epoch_bumped = False
         for state in self.groups.values():
-            before = frozenset(state.edges)
-            self._rebuild(state)
-            if frozenset(state.edges) != before:
+            if incremental:
+                lost = (removed & state.edges) if removed else set()
+                reconnectable = bool(added) and bool(state.uncovered or state.patched)
+                if not lost and not reconnectable:
+                    self.groups_skipped += 1
+                    continue
+                group_changed = self._repair(state, lost)
+            else:
+                before = frozenset(state.edges)
+                self._rebuild(state)
+                state.patched = False
+                group_changed = frozenset(state.edges) != before
+            if group_changed:
                 changed += 1
+                if not epoch_bumped:
+                    self.repair_epoch += 1
+                    epoch_bumped = True
+        return changed
+
+    def _repair(self, state: GroupState, lost: Set[Edge]) -> bool:
+        """Heal one group after a topology change; True if the tree changed.
+
+        Tries the builder's local patch first (only when tree edges were
+        actually lost); any failure — or a change the builder cannot patch —
+        degrades to the full rebuild path.
+        """
+        before = frozenset(state.edges)
+        wall0 = perf_counter()
+        patch = self.builder.repair(state, lost, self.network) if lost else None
+        if patch is not None:
+            new_edges = patch.apply(state.edges)
+            self._install(state, new_edges)
+            wall = perf_counter() - wall0
+            # Refreshing backup branches is preparation for the *next*
+            # failure — background work, not part of this repair's latency.
+            self.builder.precompute(state, self.network)
+            self.local_repairs += 1
+            kind = "local"
+        else:
+            self._rebuild(state)
+            wall = perf_counter() - wall0
+            self.rebuild_repairs += 1
+            kind = "rebuild"
+        # Edge losses leave the tree re-routed around the damage; an
+        # edge-addition pass (lost empty) restores the canonical shape.
+        state.patched = bool(lost)
+        changed = frozenset(state.edges) != before
+        self.repair_timings.append({
+            "time": self.sched.now,
+            "group": state.group,
+            "kind": kind,
+            "wall_s": wall,
+            "edges_removed": len(before - state.edges),
+            "edges_added": len(frozenset(state.edges) - before),
+        })
+        prof = self.profiler
+        if prof is not None and kind == "local":
+            prof.add("tree.repair", wall)
+        bus = self.sched.bus
+        if bus is not None and bus.wants(f"tree.repair.{kind}"):
+            bus.emit(
+                "tree.repair.local" if kind == "local" else "tree.repair.rebuild",
+                self.sched.now,
+                group=state.group,
+                edges_removed=len(before - state.edges),
+                edges_added=len(frozenset(state.edges) - before),
+                orphans=len(state.orphan_since),
+            )
         return changed
 
     # ------------------------------------------------------------------
@@ -286,6 +423,40 @@ class MulticastManager:
         i = bisect_right(times, at_time) - 1
         return history[max(i, 0)]
 
+    def disruption_windows(self, group: int) -> List[Tuple[Any, float, float]]:
+        """Closed disruption windows ``(member, lost_at, restored_at)`` plus
+        one open-ended entry ``(member, lost_at, now)`` per still-orphaned
+        member."""
+        state = self._state(group)
+        now = self.sched.now
+        out = list(state.disruptions)
+        for member in sorted(state.orphan_since, key=str):
+            out.append((member, state.orphan_since[member], now))
+        return out
+
+    def node_disrupted_during(self, group: int, node: Any, t0: float, t1: float) -> bool:
+        """True when ``node`` was orphaned from ``group`` at any point of
+        ``[t0, t1]`` — the report-fencing primitive (a loss measurement that
+        overlaps a repair says nothing about congestion)."""
+        state = self.groups.get(group)
+        if state is None:
+            return False
+        since = state.orphan_since.get(node)
+        if since is not None and since <= t1:
+            return True
+        for member, w0, w1 in reversed(state.disruptions):
+            if member == node and w0 <= t1 and t0 <= w1:
+                return True
+        return False
+
+    def orphan_seconds(self, group: int, until: Optional[float] = None) -> float:
+        """Total member-seconds of lost coverage for ``group`` so far."""
+        state = self._state(group)
+        until = self.sched.now if until is None else until
+        total = sum(min(t1, until) - t0 for _, t0, t1 in state.disruptions if t1 >= t0)
+        total += sum(until - t0 for t0 in state.orphan_since.values() if t0 <= until)
+        return total
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
@@ -317,24 +488,36 @@ class MulticastManager:
         return delay
 
     def _rebuild(self, state: GroupState) -> None:
-        """Recompute the tree and (re)install forwarding entries.
+        """Recompute the tree via the builder and (re)install forwarding.
 
         Members with no path from the source (dead link or node on the way)
         simply contribute no branch: their subtree is torn down now and
         regrafted by :meth:`on_topology_change` once connectivity returns.
         """
-        new_edges: Set[Edge] = set()
-        for member in state.members:
-            path = self.network.shortest_path_or_none(state.source, member)
-            if path is None:
-                continue
-            for u, v in zip(path, path[1:]):
-                new_edges.add((u, v))
+        wall0 = perf_counter()
+        new_edges = self.builder.build(state.source, state.members, self.network)
+        self.builds += 1
+        prof = self.profiler
+        if prof is not None:
+            prof.add("tree.build", perf_counter() - wall0)
+        self._track_coverage(state, new_edges)
         if new_edges == state.edges and state.history:
             return
+        self._install(state, new_edges)
+        self.builder.precompute(state, self.network)
+        bus = self.sched.bus
+        if bus is not None and bus.wants("tree.build"):
+            bus.emit(
+                "tree.build", self.sched.now,
+                group=state.group, edges=len(new_edges), members=len(state.members),
+            )
+
+    def _install(self, state: GroupState, new_edges: Set[Edge]) -> None:
+        """Swap the tree's forwarding entries to ``new_edges`` + snapshot."""
+        self._track_coverage(state, new_edges)
         # Clear old entries on nodes that had them, then install fresh ones.
         old_nodes = {u for u, _ in state.edges}
-        state.edges = new_edges
+        state.edges = set(new_edges)
         children: Dict[Any, Set[Any]] = {}
         for u, v in new_edges:
             children.setdefault(u, set()).add(v)
@@ -346,6 +529,34 @@ class MulticastManager:
             else:
                 node.mcast_fwd.pop(state.group, None)
         self._record_snapshot(state)
+
+    def _track_coverage(self, state: GroupState, new_edges: Set[Edge]) -> None:
+        """Maintain uncovered members and their disruption windows."""
+        covered = {state.source}
+        for u, v in new_edges:
+            covered.add(u)
+            covered.add(v)
+        uncovered = {m for m in state.members if m not in covered and m != state.source}
+        now = self.sched.now
+        bus = self.sched.bus
+        want = bus is not None and bus.wants("tree.orphan")
+        for member in sorted(uncovered - state.uncovered, key=str):
+            state.orphan_since[member] = now
+            if want:
+                bus.emit("tree.orphan", now, group=state.group, node=member, lost=True)
+        for member in sorted(state.uncovered - uncovered, key=str):
+            t0 = state.orphan_since.pop(member, None)
+            if t0 is not None:
+                state.disruptions.append((member, t0, now))
+                if want:
+                    bus.emit("tree.orphan", now, group=state.group, node=member, lost=False)
+        # A member that left the group while orphaned closes its window too.
+        for member in sorted(state.orphan_since, key=str):
+            if member not in state.members:
+                state.disruptions.append((member, state.orphan_since.pop(member), now))
+        if len(state.disruptions) > MAX_DISRUPTIONS:
+            del state.disruptions[: len(state.disruptions) - MAX_DISRUPTIONS]
+        state.uncovered = uncovered
 
     def _record_snapshot(self, state: GroupState) -> None:
         state.history.append(

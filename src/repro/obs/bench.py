@@ -98,6 +98,7 @@ def run_bench(quick: bool = False, duration_override: Optional[float] = None) ->
             controller.profiler = profiler
             if hasattr(controller.algorithm, "profiler"):
                 controller.algorithm.profiler = profiler
+        sc.mcast.profiler = profiler
         t0 = perf_counter()
         sc.run(duration)
         wall = perf_counter() - t0
@@ -108,6 +109,8 @@ def run_bench(quick: bool = False, duration_override: Optional[float] = None) ->
             for key, rec in profiler.summary("toposense.").items()
         }
         stage_ms["ctrl.tick"] = round(profiler.total("ctrl.tick") * 1e3, 3)
+        stage_ms["tree.build"] = round(profiler.total("tree.build") * 1e3, 3)
+        stage_ms["tree.repair"] = round(profiler.total("tree.repair") * 1e3, 3)
         scenarios[name] = {
             "duration_s": duration,
             "wall_s": round(wall, 4),

@@ -77,6 +77,16 @@ TOPIC_REGISTRY: Tuple[TopicSpec, ...] = (
               "`receiver`, `session`, `reason`, `strikes`"),
     TopicSpec("guard.release", "control/guard.py",
               "`receiver`, `session`, `reason`, `strikes`"),
+    TopicSpec("tree.build", "multicast/manager.py",
+              "full (re)build of one group's tree (`group`, `edges`, `members`)"),
+    TopicSpec("tree.repair.local", "multicast/manager.py",
+              "backup-branch patch healed the tree (`group`, `edges_removed`, "
+              "`edges_added`, `orphans`)"),
+    TopicSpec("tree.repair.rebuild", "multicast/manager.py",
+              "repair fell back to a full rebuild (`group`, `edges_removed`, "
+              "`edges_added`, `orphans`)"),
+    TopicSpec("tree.orphan", "multicast/manager.py",
+              "a member's tree connectivity changed (`group`, `node`, `lost`)"),
     TopicSpec("fault.*", "run recorder",
               "mirrored fault-injector log entries (dynamic kind suffix)"),
 )

@@ -7,7 +7,7 @@ paper's topologies are small trees, but the implementation is general graphs.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 import networkx as nx
 
@@ -108,17 +108,22 @@ class Network:
     # ------------------------------------------------------------------
     # Fault injection
     # ------------------------------------------------------------------
-    def set_link_up(self, a: Any, b: Any, up: bool, bidirectional: bool = True) -> None:
+    def set_link_up(
+        self, a: Any, b: Any, up: bool, bidirectional: bool = True
+    ) -> List[Tuple[Any, Any]]:
         """Take the link ``a -> b`` (and ``b -> a``) down or bring it up.
 
         Besides flipping the :class:`Link` transmit state, the corresponding
         edge is removed from (or restored to) the routing graph so that
         :meth:`build_routes` and :meth:`shortest_path` route around the
-        failure.  Callers are expected to follow up with ``build_routes()``
-        and :meth:`repro.multicast.manager.MulticastManager.on_topology_change`
+        failure.  Returns the directed edges actually removed from (or
+        restored to) the routing graph, so callers can follow up with
+        ``build_routes()`` and an *incremental*
+        :meth:`repro.multicast.manager.MulticastManager.on_topology_change`
         — the fault injectors in :mod:`repro.faults` do exactly that.
         """
         pairs = [(a, b)] + ([(b, a)] if bidirectional else [])
+        changed: List[Tuple[Any, Any]] = []
         for u, v in pairs:
             link = self.links.get((u, v))
             if link is None:
@@ -127,21 +132,29 @@ class Network:
                 link.set_up()
                 if not self.graph.has_edge(u, v):
                     self.graph.add_edge(u, v, delay=link.delay, bandwidth=link.bandwidth)
+                    changed.append((u, v))
             else:
                 link.set_down()
                 if self.graph.has_edge(u, v):
                     self.graph.remove_edge(u, v)
+                    changed.append((u, v))
+        return changed
 
-    def set_node_up(self, name: Any, up: bool) -> None:
-        """Crash or recover a node together with all its incident links."""
+    def set_node_up(self, name: Any, up: bool) -> List[Tuple[Any, Any]]:
+        """Crash or recover a node together with all its incident links.
+
+        Returns the directed routing-graph edges removed/restored, as
+        :meth:`set_link_up` does."""
         node = self.nodes[name]
+        changed: List[Tuple[Any, Any]] = []
         for (u, v), _link in self.links.items():
             if u == name or v == name:
-                self.set_link_up(u, v, up, bidirectional=False)
+                changed.extend(self.set_link_up(u, v, up, bidirectional=False))
         if up:
             node.recover()
         else:
             node.crash()
+        return changed
 
     def set_link_bandwidth(self, a: Any, b: Any, bandwidth: float,
                            bidirectional: bool = True) -> None:

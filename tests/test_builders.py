@@ -1,0 +1,294 @@
+"""Unit tests for the pluggable tree-builder backends."""
+
+import pytest
+
+from repro.multicast.builders import (
+    BUILDER_NAMES,
+    DegreeBoundedBuilder,
+    ProtectedTreeBuilder,
+    SPTBuilder,
+    TreeBuilder,
+    TreePatch,
+    make_builder,
+)
+from repro.multicast.manager import GroupState, MulticastManager
+from repro.simnet.engine import Scheduler
+from repro.simnet.topology import Network
+
+
+def _network(nodes, links):
+    """Build a routed Network from ``nodes`` and ``(a, b, delay)`` links."""
+    sched = Scheduler()
+    net = Network(sched)
+    for name in nodes:
+        net.add_node(name)
+    for a, b, delay in links:
+        net.add_link(a, b, bandwidth=1e6, delay=delay)
+    net.build_routes()
+    return sched, net
+
+
+def diamond_network():
+    r"""Redundant diamond: every single-link failure leaves it connected.
+
+        src - core - a - r1
+                \    |(cross, slow)
+                 b - r2
+    """
+    return _network(
+        ["src", "core", "a", "b", "r1", "r2"],
+        [
+            ("src", "core", 0.1),
+            ("core", "a", 0.1),
+            ("core", "b", 0.1),
+            ("a", "b", 0.5),
+            ("a", "r1", 0.1),
+            ("b", "r2", 0.1),
+        ],
+    )
+
+
+def chain_with_detour():
+    r"""Chain src-core-a-b-m plus a slow detour core-alt-b.
+
+    Cutting core--a orphans {a, b, m}; the only backup path re-enters the
+    subtree at ``b`` (not at its old root ``a``), forcing a re-root.
+    """
+    return _network(
+        ["src", "core", "a", "b", "m", "alt"],
+        [
+            ("src", "core", 0.1),
+            ("core", "a", 0.1),
+            ("a", "b", 0.1),
+            ("b", "m", 0.1),
+            ("core", "alt", 0.3),
+            ("alt", "b", 0.3),
+        ],
+    )
+
+
+def _state(source, edges, group=1):
+    st = GroupState(group, source)
+    st.edges = set(edges)
+    return st
+
+
+def _spt_union(net, source, members):
+    edges = set()
+    for m in members:
+        path = net.shortest_path_or_none(source, m)
+        for u, v in zip(path, path[1:]):
+            edges.add((u, v))
+    return edges
+
+
+def _out_degree(edges):
+    deg = {}
+    for u, _v in edges:
+        deg[u] = deg.get(u, 0) + 1
+    return deg
+
+
+def _in_degree(edges):
+    deg = {}
+    for _u, v in edges:
+        deg[v] = deg.get(v, 0) + 1
+    return deg
+
+
+def _covers(edges, source, members):
+    """True when every member is reachable from ``source`` over ``edges``."""
+    children = {}
+    for u, v in edges:
+        children.setdefault(u, []).append(v)
+    seen = {source}
+    stack = [source]
+    while stack:
+        for child in children.get(stack.pop(), ()):
+            if child not in seen:
+                seen.add(child)
+                stack.append(child)
+    return set(members) <= seen
+
+
+# ----------------------------------------------------------------------
+# TreePatch
+# ----------------------------------------------------------------------
+def test_tree_patch_apply_does_not_mutate_input():
+    patch = TreePatch(removed=[("a", "b")], added=[("c", "b")])
+    edges = {("s", "a"), ("a", "b")}
+    patched = patch.apply(edges)
+    assert patched == {("s", "a"), ("c", "b")}
+    assert edges == {("s", "a"), ("a", "b")}
+
+
+# ----------------------------------------------------------------------
+# SPT backend
+# ----------------------------------------------------------------------
+def test_spt_matches_shortest_path_union():
+    _sched, net = diamond_network()
+    edges = SPTBuilder().build("src", ["r1", "r2"], net)
+    assert edges == _spt_union(net, "src", ["r1", "r2"])
+    assert edges == {
+        ("src", "core"), ("core", "a"), ("core", "b"),
+        ("a", "r1"), ("b", "r2"),
+    }
+
+
+def test_spt_is_manager_default_and_identical_to_inline_tree():
+    sched, net = diamond_network()
+    m = MulticastManager(net, igmp_report_delay=0.0)
+    assert isinstance(m.builder, SPTBuilder)
+    g = m.create_group("src")
+    m.join(g, "r1")
+    m.join(g, "r2")
+    sched.run(until=2.0)
+    assert m.tree_edges(g) == frozenset(_spt_union(net, "src", ["r1", "r2"]))
+
+
+def test_spt_skips_unreachable_members():
+    _sched, net = _network(["src", "a", "island"], [("src", "a", 0.1)])
+    assert SPTBuilder().build("src", ["a", "island"], net) == {("src", "a")}
+
+
+# ----------------------------------------------------------------------
+# Degree-bounded backend
+# ----------------------------------------------------------------------
+def test_degree_bound_respected_when_detour_exists():
+    # hub fans out to r1..r4, but the receivers are also chained together,
+    # so a degree-2 tree can daisy-chain instead of star-ing off the hub.
+    _sched, net = _network(
+        ["src", "hub", "r1", "r2", "r3", "r4"],
+        [
+            ("src", "hub", 0.1),
+            ("hub", "r1", 0.10),
+            ("hub", "r2", 0.12),
+            ("hub", "r3", 0.14),
+            ("hub", "r4", 0.16),
+            ("r1", "r2", 0.05),
+            ("r2", "r3", 0.05),
+            ("r3", "r4", 0.05),
+        ],
+    )
+    members = ["r1", "r2", "r3", "r4"]
+    spt = SPTBuilder().build("src", members, net)
+    assert _out_degree(spt)["hub"] == 4  # the shape the bound is meant to avoid
+    edges = DegreeBoundedBuilder(max_degree=2).build("src", members, net)
+    assert _covers(edges, "src", members)
+    assert max(_out_degree(edges).values()) <= 2
+    assert max(_in_degree(edges).values()) <= 1  # still a tree
+
+
+def test_degree_bound_falls_back_to_shortest_path_when_unsatisfiable():
+    # Pure star: every attach path runs through the hub, so the bound is
+    # unsatisfiable; reachability must win over fan-out.
+    members = ["r1", "r2", "r3"]
+    _sched, net = _network(
+        ["src", "hub"] + members,
+        [("src", "hub", 0.1)] + [("hub", r, 0.1) for r in members],
+    )
+    edges = DegreeBoundedBuilder(max_degree=1).build("src", members, net)
+    assert _covers(edges, "src", members)
+
+
+def test_degree_builder_skips_unreachable_and_rejects_bad_bound():
+    _sched, net = _network(["src", "a", "island"], [("src", "a", 0.1)])
+    edges = DegreeBoundedBuilder().build("src", ["a", "island"], net)
+    assert edges == {("src", "a")}
+    with pytest.raises(ValueError):
+        DegreeBoundedBuilder(max_degree=0)
+
+
+# ----------------------------------------------------------------------
+# Protected backend
+# ----------------------------------------------------------------------
+def test_protected_precomputes_backup_for_every_tree_edge():
+    _sched, net = diamond_network()
+    b = ProtectedTreeBuilder()
+    state = _state("src", b.build("src", ["r1", "r2"], net))
+    b.precompute(state, net)
+    backups = b._backups[state.group]
+    # src--core and the leaf access links have no alternative path; both
+    # aggregation hops are protected by the cross link.
+    assert set(backups) == {("core", "a"), ("core", "b")}
+    assert backups[("core", "a")] == ("src", "core", "b", "a")
+
+
+def test_protected_local_repair_splices_backup_branch():
+    _sched, net = diamond_network()
+    b = ProtectedTreeBuilder()
+    state = _state("src", b.build("src", ["r1", "r2"], net))
+    state.members = {"r1", "r2"}
+    b.precompute(state, net)
+    patch = b.repair(state, [("core", "a")], net)
+    assert patch is not None
+    assert patch.removed == frozenset({("core", "a")})
+    assert patch.added == frozenset({("b", "a")})
+    healed = patch.apply(state.edges)
+    assert _covers(healed, "src", ["r1", "r2"])
+    # The b branch never moved: repair was local to the orphaned subtree.
+    assert {("core", "b"), ("b", "r2")} <= healed
+
+
+def test_protected_repair_reroots_subtree_at_backup_entry():
+    _sched, net = chain_with_detour()
+    b = ProtectedTreeBuilder()
+    state = _state("src", b.build("src", ["a", "m"], net))
+    assert state.edges == {("src", "core"), ("core", "a"), ("a", "b"), ("b", "m")}
+    b.precompute(state, net)
+    patch = b.repair(state, [("core", "a")], net)
+    assert patch is not None
+    healed = patch.apply(state.edges)
+    # The backup enters the orphaned subtree at b, so the a--b hop reverses.
+    assert healed == {
+        ("src", "core"), ("core", "alt"), ("alt", "b"), ("b", "m"), ("b", "a"),
+    }
+    assert _covers(healed, "src", ["a", "m"])
+    assert max(_in_degree(healed).values()) <= 1
+
+
+def test_protected_repair_refuses_multi_edge_loss():
+    _sched, net = diamond_network()
+    b = ProtectedTreeBuilder()
+    state = _state("src", b.build("src", ["r1", "r2"], net))
+    b.precompute(state, net)
+    assert b.repair(state, [("core", "a"), ("core", "b")], net) is None
+
+
+def test_protected_repair_refuses_dead_splice_edge():
+    _sched, net = diamond_network()
+    b = ProtectedTreeBuilder()
+    state = _state("src", b.build("src", ["r1", "r2"], net))
+    b.precompute(state, net)
+    # The precomputed backup for core--a splices over a--b; kill that link
+    # too (stale backup) and the patch must be rejected, not installed.
+    net.graph.remove_edge("a", "b")
+    net.graph.remove_edge("b", "a")
+    assert b.repair(state, [("core", "a")], net) is None
+
+
+def test_protected_repair_without_precompute_or_backup_is_none():
+    _sched, net = diamond_network()
+    b = ProtectedTreeBuilder()
+    state = _state("src", b.build("src", ["r1", "r2"], net))
+    assert b.repair(state, [("core", "a")], net) is None  # nothing precomputed
+    b.precompute(state, net)
+    assert b.repair(state, [("src", "core")], net) is None  # no backup exists
+    assert b.repair(state, [("ghost", "edge")], net) is None  # not a tree edge
+
+
+# ----------------------------------------------------------------------
+# make_builder
+# ----------------------------------------------------------------------
+def test_make_builder_resolves_names_and_instances():
+    assert set(BUILDER_NAMES) == {"spt", "degree", "protected"}
+    assert isinstance(make_builder("spt"), SPTBuilder)
+    assert isinstance(make_builder(None), SPTBuilder)
+    assert isinstance(make_builder("protected"), ProtectedTreeBuilder)
+    degree = make_builder("degree", max_degree=2)
+    assert isinstance(degree, DegreeBoundedBuilder) and degree.max_degree == 2
+    instance = SPTBuilder()
+    assert make_builder(instance) is instance
+    assert isinstance(make_builder("spt"), TreeBuilder)
+    with pytest.raises(ValueError):
+        make_builder("steiner-exact")

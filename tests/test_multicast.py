@@ -250,3 +250,164 @@ def test_group_handler_removal():
     sched.run(until=2.0)
     assert got == []
     node_a.remove_group_handler(g, handler)  # removing twice is a no-op
+
+
+# ----------------------------------------------------------------------
+# Incremental topology reaction & tree repair
+# ----------------------------------------------------------------------
+def diamond_network():
+    r"""src - core - {a, b} with an a--b cross link and one leaf each.
+
+    Every single aggregation-link failure leaves the graph connected, so a
+    protecting builder can patch the tree locally.
+    """
+    sched = Scheduler()
+    net = Network(sched)
+    for name in ["src", "core", "a", "b", "r1", "r2"]:
+        net.add_node(name)
+    net.add_link("src", "core", bandwidth=1e6, delay=0.1)
+    net.add_link("core", "a", bandwidth=1e6, delay=0.1)
+    net.add_link("core", "b", bandwidth=1e6, delay=0.1)
+    net.add_link("a", "b", bandwidth=1e6, delay=0.5)
+    net.add_link("a", "r1", bandwidth=1e6, delay=0.1)
+    net.add_link("b", "r2", bandwidth=1e6, delay=0.1)
+    net.build_routes()
+    return sched, net
+
+
+def test_incremental_change_skips_unaffected_groups():
+    """A link failure must not recompute — or snapshot — groups whose trees
+    never used the failed link (the whole point of the incremental path)."""
+    sched, net = star_network()
+    m = MulticastManager(net, igmp_report_delay=0.0)
+    g1 = m.create_group("src")
+    g2 = m.create_group("src")
+    m.join(g1, "a")
+    m.join(g2, "b")
+    sched.run(until=1.0)
+
+    builds_before = m.builds
+    hist_g2_before = len(m.groups[g2].history)
+    removed = net.set_link_up("core", "a", False)
+    net.build_routes()
+    changed = m.on_topology_change(removed_edges=removed)
+
+    assert changed == 1  # only g1's tree used core--a
+    assert m.groups_skipped == 1
+    assert m.builds == builds_before + 1  # one rebuild, not one per group
+    assert len(m.groups[g2].history) == hist_g2_before  # g2 untouched
+    assert m.tree_edges(g2) == frozenset({("src", "core"), ("core", "b")})
+
+    # Restoring the link touches only the group with an orphan to regraft.
+    added = net.set_link_up("core", "a", True)
+    net.build_routes()
+    assert m.on_topology_change(added_edges=added) == 1
+    assert m.groups_skipped == 2
+    assert len(m.groups[g2].history) == hist_g2_before
+    assert m.tree_edges(g1) == frozenset({("src", "core"), ("core", "a")})
+
+
+def test_legacy_topology_change_still_examines_every_group():
+    sched, net = star_network()
+    m = MulticastManager(net, igmp_report_delay=0.0)
+    g = m.create_group("src")
+    m.join(g, "a")
+    sched.run(until=1.0)
+    net.set_link_up("core", "a", False)
+    net.build_routes()
+    assert m.on_topology_change() == 1  # no-argument form: full sweep
+    assert m.tree_edges(g) == frozenset()
+
+
+def test_rapid_join_leave_keeps_snapshot_history_consistent():
+    """Hammering join/leave on one member must leave snapshot_at queries
+    internally consistent: monotone times, edges always matching members."""
+    sched, net = star_network()
+    m = MulticastManager(net, leave_latency=0.3, igmp_report_delay=0.0)
+    g = m.create_group("src")
+    for i in range(6):
+        sched.at(0.1 + 0.2 * i, m.join, g, "a")
+        sched.at(0.2 + 0.2 * i, m.leave, g, "a")
+    sched.run(until=5.0)
+    assert m.members(g) == frozenset()  # last word was leave
+
+    history = m.groups[g].history
+    assert history, "every applied change snapshots"
+    times = [snap.time for snap in history]
+    assert times == sorted(times)
+    for snap in history:
+        if "a" in snap.members:
+            assert snap.edges == frozenset({("src", "core"), ("core", "a")})
+        else:
+            assert snap.edges == frozenset()
+    # Stale queries resolve to the snapshot in force at that instant.
+    for t in [0.0, 0.45, 1.17, 2.5, 4.9]:
+        snap = m.snapshot_at(g, t)
+        assert snap.time <= t or snap is history[0]
+
+
+def test_prune_delay_stops_at_live_branch_point():
+    """Expedited prunes travel only to the deepest ancestor still serving
+    another member — including under interleaved pending joins/leaves."""
+    sched, net = star_network()
+    m = MulticastManager(net, expedited_leave=True, igmp_report_delay=0.0)
+    g = m.create_group("src")
+    m.join(g, "a")
+    m.join(g, "b")
+    sched.run(until=1.0)
+
+    # b still holds the core branch: the prune stops after the a--core hop.
+    assert m.leave(g, "a") - sched.now == pytest.approx(0.1)
+    sched.run(until=2.0)
+    m.join(g, "a")
+    sched.run(until=3.0)
+
+    # Last member: the prune must travel all the way to the source.
+    m.leave(g, "b")
+    sched.run(until=6.0)
+    assert m.members(g) == frozenset({"a"})
+    assert m.leave(g, "a") - sched.now == pytest.approx(0.2)
+
+    # A *pending* join does not hold the branch: only applied membership
+    # counts, so the same prune still runs to the source.
+    m.join(g, "b")  # in flight, not yet applied
+    assert m._prune_delay(m.groups[g], "a") == pytest.approx(0.2)
+
+
+def test_set_blocked_on_mid_repair_tree():
+    """Quarantining a member while the tree runs on a repair patch must keep
+    the patched route for the survivors, and the later link restore must
+    still revert the group to its canonical tree."""
+    from repro.multicast.builders import ProtectedTreeBuilder
+
+    sched, net = diamond_network()
+    m = MulticastManager(net, igmp_report_delay=0.0, builder=ProtectedTreeBuilder())
+    g = m.create_group("src")
+    m.join(g, "r1")
+    m.join(g, "r2")
+    sched.run(until=1.0)
+
+    removed = net.set_link_up("core", "a", False)
+    net.build_routes()
+    m.on_topology_change(removed_edges=removed)
+    assert m.local_repairs == 1
+    assert m.groups[g].patched
+    assert ("b", "a") in m.tree_edges(g)  # running on the backup branch
+
+    # Quarantine r2 mid-repair: its branch is torn down, r1 keeps the
+    # (still necessary) backup route, and the group remains marked patched.
+    m.set_blocked(g, "r2", True)
+    sched.run(until=2.0)
+    assert m.members(g) == frozenset({"r1"})
+    assert ("b", "r2") not in m.tree_edges(g)
+    assert {("core", "b"), ("b", "a"), ("a", "r1")} <= m.tree_edges(g)
+    assert g not in net.node("b").mcast_fwd or "r2" not in net.node("b").mcast_fwd[g]
+
+    # Link restore reverts the patched group to the canonical build.
+    added = net.set_link_up("core", "a", True)
+    net.build_routes()
+    m.on_topology_change(added_edges=added)
+    assert not m.groups[g].patched
+    assert m.tree_edges(g) == frozenset(
+        {("src", "core"), ("core", "a"), ("a", "r1")}
+    )

@@ -110,7 +110,9 @@ class TestTopicRegistry:
 
         assert DEFAULT_TOPICS == default_record_patterns()
         # everything except the sched.dispatch firehose, one family each
-        assert DEFAULT_TOPICS == ("ctrl.*", "fault.*", "guard.*", "link.*", "recv.*")
+        assert DEFAULT_TOPICS == (
+            "ctrl.*", "fault.*", "guard.*", "link.*", "recv.*", "tree.*"
+        )
 
     def test_registry_covers_known_topics(self):
         from repro.obs.bus import topic_is_known
