@@ -75,6 +75,7 @@ class TopicContractRule(Rule):
         "src/repro/multicast/",
         "src/repro/faults/",
         "src/repro/obs/",
+        "src/repro/federation/",
     )
     SUBSCRIBE_PATHS = ("src/repro/",)
 

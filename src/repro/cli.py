@@ -8,6 +8,7 @@ Usage::
     python -m repro chaos --seed 1 [--plan faults.json] [--json]
     python -m repro byzantine --seed 1 [--attack-start 30] [--json]
     python -m repro churn --seed 1 [--backends spt,protected] [--json]
+    python -m repro federate --seed 1 [--domains 2,4,8] [--parallel] [--json]
     python -m repro bench [--quick] [--baseline BENCH_x.json]
     python -m repro lint [--json] [--root DIR]
 
@@ -15,9 +16,9 @@ Usage::
 DESIGN.md §11) and exits 0 when clean, 1 on findings, 2 on internal error.
 
 ``REPRO_FULL=1`` switches every experiment to the paper's 1200 s horizon.
-``demo``, ``chaos``, ``byzantine`` and ``churn`` write run artifacts (manifest, JSONL
-event log, metrics) under ``runs/`` — move the root with ``REPRO_RUNS_DIR``
-or disable with ``--no-artifacts``.
+``demo``, ``chaos``, ``byzantine``, ``churn`` and ``federate`` write run
+artifacts (manifest, JSONL event log, metrics) under ``runs/`` — move the
+root with ``REPRO_RUNS_DIR`` or disable with ``--no-artifacts``.
 """
 
 from __future__ import annotations
@@ -196,6 +197,39 @@ def _cmd_churn(args) -> None:
         sys.exit(1)
 
 
+def _cmd_federate(args) -> None:
+    from .federation import (
+        DEFAULT_DURATION,
+        render_federate_report,
+        run_federate,
+    )
+
+    domain_counts = [int(n) for n in args.domains.split(",") if n]
+    recorder = _make_recorder(args, "federate")
+    try:
+        result = run_federate(
+            seed=args.seed,
+            duration=args.duration or DEFAULT_DURATION,
+            total_receivers=args.receivers,
+            domain_counts=domain_counts,
+            cadence=args.cadence,
+            parallel=args.parallel,
+            tolerance=args.tolerance,
+            check_parallel=not args.no_parallel_check,
+            recorder=recorder,
+        )
+    except ValueError as exc:
+        sys.exit(f"federate: {exc}")
+    if recorder is not None:
+        print(f"run artifacts: {recorder.finalize(result)}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(result, indent=2, default=str))
+    else:
+        print(render_federate_report(result))
+    if not result["ok"]:
+        sys.exit(1)
+
+
 def _cmd_byzantine(args) -> None:
     from .experiments.byzantine import (
         DEFAULT_DURATION,
@@ -358,6 +392,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     churn.add_argument("--no-artifacts", action="store_true",
                        help="skip writing the run directory under runs/")
     churn.set_defaults(fn=_cmd_churn)
+
+    fed = sub.add_parser(
+        "federate",
+        help="sweep domain count at fixed total receivers through the "
+             "federated control plane and gate its scaling claims",
+    )
+    common(fed)
+    fed.add_argument("--receivers", type=int, default=1024,
+                     help="total receivers, split evenly across domains "
+                          "(default 1024)")
+    fed.add_argument("--domains", type=str, default="2,4,8",
+                     help="comma-separated domain counts to sweep "
+                          "(default 2,4,8)")
+    fed.add_argument("--cadence", type=float, default=4.0,
+                     help="summary-exchange cadence, simulated seconds "
+                          "(default 4)")
+    fed.add_argument("--parallel", action="store_true",
+                     help="advance domain shards on a thread pool")
+    fed.add_argument("--tolerance", type=float, default=0.15,
+                     help="allowed control-bytes-per-receiver spread "
+                          "across the sweep (default 0.15)")
+    fed.add_argument("--no-parallel-check", action="store_true",
+                     help="skip the sequential-vs-parallel equivalence "
+                          "rerun of the smallest sweep point")
+    fed.add_argument("--no-artifacts", action="store_true",
+                     help="skip writing the run directory under runs/")
+    fed.set_defaults(fn=_cmd_federate)
 
     byz = sub.add_parser(
         "byzantine",

@@ -9,9 +9,12 @@ from .discovery import TopologyDiscovery
 from .guard import GuardConfig, ReportGuard
 from .messages import (
     CONTROL_PORT,
+    FEDERATION_PORT,
+    FederationAdvice,
     Register,
     RegisterAck,
     Report,
+    SubtreeSummary,
     Suggestion,
 )
 from .session import SessionDescriptor
@@ -27,7 +30,10 @@ __all__ = [
     "RegisterAck",
     "Report",
     "Suggestion",
+    "SubtreeSummary",
+    "FederationAdvice",
     "CONTROL_PORT",
+    "FEDERATION_PORT",
     "GuardConfig",
     "ReportGuard",
 ]

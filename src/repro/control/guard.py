@@ -80,9 +80,23 @@ GUARDED_FIELDS: Dict[str, Set[str]] = {
 #: ``session_id`` is validated upstream via the known-session lookup,
 #: ``receiver_id`` on reports doubles as the registration key, and a
 #: ``Register``'s ``node`` is a topology hint the discovery pass verifies.
+#: The federation-tier messages (``SubtreeSummary``, ``FederationAdvice``)
+#: are exempt wholesale: they travel between infrastructure peers (domain
+#: controllers and the coordinator), never from receivers, and the
+#: coordinator structurally validates them — rejecting any per-receiver
+#: message type outright — in ``repro.federation.coordinator``.
 GUARD_EXEMPT_FIELDS: Dict[str, Set[str]] = {
     "Register": {"session_id", "node"},
     "Report": {"receiver_id", "session_id"},
+    "SubtreeSummary": {
+        "domain", "session_id", "gateway", "receiver_count", "mean_loss",
+        "max_loss", "min_level", "max_level", "level_sum", "bottleneck_bps",
+        "issued_at",
+    },
+    "FederationAdvice": {
+        "session_id", "ceiling", "floor", "receiver_count", "bottleneck_bps",
+        "issued_at",
+    },
 }
 
 

@@ -32,18 +32,32 @@ __all__ = [
     "RegisterAck",
     "Report",
     "Suggestion",
+    "SubtreeSummary",
+    "FederationAdvice",
     "CONTROL_PORT",
+    "FEDERATION_PORT",
     "REGISTER_SIZE",
     "REPORT_SIZE",
     "SUGGESTION_SIZE",
+    "SUMMARY_SIZE",
+    "ADVICE_SIZE",
 ]
 
 #: Well-known port the controller agent listens on.
 CONTROL_PORT = "toposense-ctrl"
 
+#: Well-known port of the inter-domain federation tier.
+FEDERATION_PORT = "toposense-fed"
+
 REGISTER_SIZE = 64
 REPORT_SIZE = 96
 SUGGESTION_SIZE = 64
+#: A :class:`SubtreeSummary` is a fixed-size aggregate — ten scalar fields
+#: plus headers — no matter how many receivers the domain holds.  That
+#: constant size is the whole point of the federation tier: inter-domain
+#: control traffic scales with the number of domains, not receivers.
+SUMMARY_SIZE = 96
+ADVICE_SIZE = 48
 
 
 @dataclass(frozen=True)
@@ -93,3 +107,49 @@ class Suggestion:
     level: int
     issued_at: float
     epoch: int = 0  # controller epoch (fencing token)
+
+
+@dataclass(frozen=True)
+class SubtreeSummary:
+    """Domain shard -> federation coordinator: one domain's aggregate state.
+
+    Crosses the inter-domain boundary on a fixed cadence and carries only
+    aggregates — the coordinator (by design, and enforced by
+    :class:`~repro.federation.FederationCoordinator`) never sees a
+    per-receiver :class:`Report`.  ``min_level``/``max_level``/``level_sum``
+    summarise the domain controller's last suggestion set (the domain's
+    layer fit), ``mean_loss``/``max_loss`` its latest accepted loss reports
+    (the congestion level), and ``bottleneck_bps`` the worst per-receiver
+    goodput estimate behind the border gateway.
+    """
+
+    domain: Any
+    session_id: Any
+    gateway: Any  # border gateway node the aggregate was measured behind
+    receiver_count: int
+    mean_loss: float
+    max_loss: float
+    min_level: int  # lowest suggested subscription level in the domain
+    max_level: int  # highest suggested subscription level in the domain
+    level_sum: int  # sum of suggested levels (for cross-domain means)
+    bottleneck_bps: float  # worst receiver goodput estimate, bits/s
+    issued_at: float
+
+
+@dataclass(frozen=True)
+class FederationAdvice:
+    """Federation coordinator -> domain shards: session-level layer advice.
+
+    ``ceiling`` is the highest layer any domain can use (layers above it
+    carry traffic nobody can decode), ``floor`` the lowest fit across
+    domains; both are derived purely from :class:`SubtreeSummary`
+    aggregates, merged in sorted-domain order so sequential and parallel
+    shard execution produce identical advice.
+    """
+
+    session_id: Any
+    ceiling: int
+    floor: int
+    receiver_count: int  # session-wide receiver total, from summary counts
+    bottleneck_bps: float  # worst bottleneck estimate across all domains
+    issued_at: float

@@ -1,0 +1,57 @@
+"""Federated multi-domain control plane (DESIGN.md §13).
+
+The paper's Fig. 3 architecture — "multiple controller agents, each
+concerned with one particular administrative domain" — implemented as a
+real sharded subsystem:
+
+* :class:`DomainPartitioner` clips a global topology into per-domain
+  :class:`DomainView`\\ s;
+* :class:`DomainShard` runs one domain as a standalone controller + simnet
+  slice (seeded per-shard RNG streams, executor-parallel safe);
+* :class:`~repro.control.messages.SubtreeSummary` aggregates cross the
+  domain boundary on a fixed cadence;
+* :class:`FederationCoordinator` merges them into session-level
+  :class:`~repro.control.messages.FederationAdvice` without ever seeing a
+  per-receiver report;
+* :class:`FederatedSession` drives the lockstep rounds, and
+  :func:`run_federate` sweeps domain count at fixed receiver population
+  (``python -m repro federate`` / ``tools/run_federate.py``).
+"""
+
+from .coordinator import FederationCoordinator
+from .experiment import (
+    DEFAULT_DOMAIN_COUNTS,
+    DEFAULT_DURATION,
+    build_federated_views,
+    render_federate_report,
+    run_federate,
+)
+from .partition import (
+    DomainLink,
+    DomainPartitioner,
+    DomainReceiver,
+    DomainSession,
+    DomainView,
+    gateways_for_tier,
+)
+from .session import FederatedSession
+from .shard import BORDER_NODE, DomainShard, shard_seed
+
+__all__ = [
+    "BORDER_NODE",
+    "DEFAULT_DOMAIN_COUNTS",
+    "DEFAULT_DURATION",
+    "DomainLink",
+    "DomainPartitioner",
+    "DomainReceiver",
+    "DomainSession",
+    "DomainShard",
+    "DomainView",
+    "FederatedSession",
+    "FederationCoordinator",
+    "build_federated_views",
+    "gateways_for_tier",
+    "render_federate_report",
+    "run_federate",
+    "shard_seed",
+]

@@ -1,0 +1,120 @@
+"""The thin inter-domain tier: merge subtree summaries, never reports.
+
+The :class:`FederationCoordinator` is deliberately small.  It stores **one**
+latest :class:`~repro.control.messages.SubtreeSummary` per
+``(session, domain)`` pair — its memory is O(domains × sessions) no matter
+how many receivers the federation serves — and merges them into one
+session-level :class:`~repro.control.messages.FederationAdvice` per round.
+
+Two structural guarantees back the scaling claims:
+
+* **No per-receiver state.**  :meth:`receive` type-checks its input and
+  rejects anything that is not a ``SubtreeSummary`` (a ``Report`` or
+  ``Register`` smuggled upward raises and is counted in
+  ``rejected_messages``); nothing receiver-granular ever enters this tier.
+* **Order-independent merging.**  :meth:`merge` folds summaries in sorted
+  ``(session, domain)`` order regardless of arrival order, so sequential
+  and executor-parallel shard execution produce identical advice.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..control.messages import SUMMARY_SIZE, FederationAdvice, SubtreeSummary
+
+__all__ = ["FederationCoordinator"]
+
+
+class FederationCoordinator:
+    """Root of the federation hierarchy: session-level layer advice."""
+
+    def __init__(self, bus: Optional[Any] = None):
+        self.bus = bus
+        # (str(session), str(domain)) -> latest summary; bounded by
+        # domains x sessions, the federation's whole memory footprint.
+        self._latest: Dict[Tuple[str, str], SubtreeSummary] = {}
+        self.session_advice: Dict[Any, FederationAdvice] = {}
+        self.summaries_received = 0
+        self.rejected_messages = 0
+        self.merges = 0
+        self.peak_tracked = 0
+        #: Advice bytes sent down to shards (charged by the federation run).
+        self.control_bytes_sent = 0
+
+    # ------------------------------------------------------------------
+    def receive(self, msg: Any) -> None:
+        """Ingest one subtree summary (the only message type allowed up)."""
+        if not isinstance(msg, SubtreeSummary):
+            self.rejected_messages += 1
+            raise TypeError(
+                "federation coordinator accepts SubtreeSummary only, got "
+                f"{type(msg).__name__} — per-receiver control traffic must "
+                "terminate at the domain controller"
+            )
+        self._latest[(str(msg.session_id), str(msg.domain))] = msg
+        self.summaries_received += 1
+        self.peak_tracked = max(self.peak_tracked, len(self._latest))
+        if self.bus is not None:
+            self.bus.emit(
+                "federation.summary", msg.issued_at,
+                domain=msg.domain, session=msg.session_id,
+                gateway=msg.gateway, receivers=msg.receiver_count,
+                mean_loss=round(msg.mean_loss, 4),
+                max_loss=round(msg.max_loss, 4),
+                min_level=msg.min_level, max_level=msg.max_level,
+                bottleneck_bps=round(msg.bottleneck_bps, 1),
+            )
+
+    # ------------------------------------------------------------------
+    def merge(self, now: float) -> List[FederationAdvice]:
+        """Fold the latest summaries into per-session layer advice.
+
+        Domains currently holding no registered receivers contribute their
+        receiver count (zero) but not their layer fit — an empty domain
+        must not drag the session ceiling to zero.
+        """
+        per_session: Dict[str, List[SubtreeSummary]] = {}
+        for (sid_key, _domain), summary in sorted(self._latest.items()):
+            per_session.setdefault(sid_key, []).append(summary)
+        advices: List[FederationAdvice] = []
+        for sid_key in sorted(per_session):
+            summaries = per_session[sid_key]
+            session_id = summaries[0].session_id
+            populated = [s for s in summaries if s.receiver_count > 0]
+            ceiling = max((s.max_level for s in populated), default=0)
+            floor = min((s.min_level for s in populated), default=0)
+            receiver_count = sum(s.receiver_count for s in summaries)
+            bottlenecks = [
+                s.bottleneck_bps for s in populated if s.bottleneck_bps > 0
+            ]
+            advice = FederationAdvice(
+                session_id=session_id,
+                ceiling=ceiling,
+                floor=floor,
+                receiver_count=receiver_count,
+                bottleneck_bps=min(bottlenecks) if bottlenecks else 0.0,
+                issued_at=now,
+            )
+            self.session_advice[session_id] = advice
+            advices.append(advice)
+            if self.bus is not None:
+                self.bus.emit(
+                    "federation.suggestion", now,
+                    session=session_id, ceiling=ceiling, floor=floor,
+                    receivers=receiver_count, domains=len(summaries),
+                    bottleneck_bps=round(advice.bottleneck_bps, 1),
+                )
+        self.merges += 1
+        return advices
+
+    # ------------------------------------------------------------------
+    def tracked(self) -> int:
+        """Summaries currently stored (== domains x sessions seen)."""
+        return len(self._latest)
+
+    def state_bytes(self) -> int:
+        """Nominal wire-size of the stored state — the bounded-memory
+        metric the federate sweep reports (scales with domains, not
+        receivers)."""
+        return len(self._latest) * SUMMARY_SIZE

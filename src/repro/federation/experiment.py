@@ -1,0 +1,300 @@
+"""The ``repro federate`` experiment: domain-count scaling at fixed size.
+
+Holds the total receiver population fixed, sweeps the number of
+administrative domains it is sharded into, and checks the federation's
+scaling claims:
+
+* **flat control cost** — control bytes per receiver must stay within a
+  tolerance band as domains are added: receivers talk only to their local
+  controller, and the inter-domain tier exchanges fixed-size aggregates;
+* **bounded coordinator memory** — the coordinator stores at most one
+  summary per (session, domain), independent of receiver count;
+* **report isolation** — the coordinator never ingests a per-receiver
+  report (structurally rejected and counted);
+* **mode equivalence** — sequential and executor-parallel shard execution
+  produce identical session-level advice and per-domain aggregates.
+
+Per-domain convergence is also scored against the per-shard oracle so a
+federation that is cheap but wrong cannot pass.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..experiments.domains import build_multi_domain_topology, domain_gateways
+from ..obs.profile import Profiler
+from .partition import DomainPartitioner, DomainView
+from .session import FederatedSession
+
+__all__ = [
+    "DEFAULT_DURATION",
+    "DEFAULT_DOMAIN_COUNTS",
+    "build_federated_views",
+    "run_federate",
+    "render_federate_report",
+]
+
+#: Default simulated horizon per sweep point: enough for every receiver to
+#: climb to its optimum and hold it for several control intervals.
+DEFAULT_DURATION = 40.0
+
+#: Default domain-count sweep (total receivers stays fixed).
+DEFAULT_DOMAIN_COUNTS = (2, 4, 8)
+
+
+def build_federated_views(
+    n_domains: int,
+    receivers_per_domain: int,
+    seed: int = 0,
+    traffic: str = "cbr",
+) -> List[DomainView]:
+    """Views for a multi-domain topology, one domain per gateway subtree."""
+    sc = build_multi_domain_topology(
+        n_domains=n_domains,
+        receivers_per_domain=receivers_per_domain,
+        traffic=traffic,
+        seed=seed,
+    )
+    partitioner = DomainPartitioner.by_gateways(sc, domain_gateways(n_domains))
+    views = partitioner.partition(sc)
+    return [views[d] for d in sorted(views)]
+
+
+def _run_point(
+    n_domains: int,
+    receivers_per_domain: int,
+    seed: int,
+    duration: float,
+    cadence: float,
+    parallel: bool,
+    traffic: str,
+    bus: Optional[Any] = None,
+) -> Dict[str, Any]:
+    from ..experiments.scenario import ScenarioResult
+
+    views = build_federated_views(
+        n_domains, receivers_per_domain, seed=seed, traffic=traffic
+    )
+    profiler = Profiler()
+    fed = FederatedSession(
+        views, seed=seed, cadence=cadence, parallel=parallel,
+        bus=bus, profiler=profiler,
+    )
+    wall0 = perf_counter()
+    fed.run(duration)
+    wall = perf_counter() - wall0
+
+    n_receivers = sum(v.receiver_count for v in views)
+    tiers = fed.control_bytes_by_tier()
+    total_bytes = sum(tiers.values())
+    t0 = duration / 2.0
+
+    domains: Dict[str, Dict[str, Any]] = {}
+    for name in sorted(fed.shards):
+        shard = fed.shards[name]
+        result = ScenarioResult(shard.scenario, fed.now)
+        optimal = result.optimal_levels()
+        handles = shard.scenario.receivers
+        mean_levels = [
+            h.trace.time_weighted_mean(t0, fed.now) for h in handles
+        ]
+        opts = [optimal[(h.session_id, h.receiver_id)] for h in handles]
+        domains[name] = {
+            "receivers": len(handles),
+            "gateway": str(shard.view.gateway),
+            "mean_level": round(sum(mean_levels) / len(mean_levels), 3)
+            if mean_levels else 0.0,
+            "optimal_level": round(sum(opts) / len(opts), 3) if opts else 0,
+            "deviation": round(result.mean_deviation(t0), 4),
+            "events": shard.scenario.sched.events_processed,
+        }
+
+    advice = {
+        str(sid): {
+            "ceiling": a.ceiling,
+            "floor": a.floor,
+            "receivers": a.receiver_count,
+            "bottleneck_bps": round(a.bottleneck_bps, 1),
+        }
+        for sid, a in sorted(
+            fed.coordinator.session_advice.items(), key=lambda kv: str(kv[0])
+        )
+    }
+    shard_ms = profiler.summary("fed.shard.")
+    return {
+        "n_domains": n_domains,
+        "n_receivers": n_receivers,
+        "receivers_per_domain": receivers_per_domain,
+        "parallel": parallel,
+        "rounds": fed.rounds_completed,
+        "events": fed.events_processed,
+        "wall_s": round(wall, 4),
+        "control_bytes": {**tiers, "total": total_bytes},
+        "control_bytes_per_receiver": round(total_bytes / n_receivers, 2)
+        if n_receivers else 0.0,
+        "coordinator": {
+            "summaries_received": fed.coordinator.summaries_received,
+            "rejected_messages": fed.coordinator.rejected_messages,
+            "peak_tracked": fed.coordinator.peak_tracked,
+            "state_bytes": fed.coordinator.state_bytes(),
+            "merges": fed.coordinator.merges,
+        },
+        "advice": advice,
+        "domains": domains,
+        "shard_wall_ms": {
+            key: round(rec["total_s"] * 1e3, 2)
+            for key, rec in sorted(shard_ms.items())
+        },
+    }
+
+
+def _comparable(point: Dict[str, Any]) -> Dict[str, Any]:
+    """The mode-equivalence projection: everything but wall timings."""
+    domains = {
+        name: {k: v for k, v in rec.items() if k != "wall_s"}
+        for name, rec in point["domains"].items()
+    }
+    return {
+        "advice": point["advice"],
+        "control_bytes": point["control_bytes"],
+        "coordinator": point["coordinator"],
+        "domains": domains,
+        "events": point["events"],
+        "rounds": point["rounds"],
+    }
+
+
+def run_federate(
+    seed: int = 1,
+    duration: float = DEFAULT_DURATION,
+    total_receivers: int = 1024,
+    domain_counts: Sequence[int] = DEFAULT_DOMAIN_COUNTS,
+    cadence: float = 4.0,
+    parallel: bool = False,
+    traffic: str = "cbr",
+    tolerance: float = 0.15,
+    deviation_budget: float = 0.5,
+    check_parallel: bool = True,
+    recorder: Optional[Any] = None,
+) -> Dict[str, Any]:
+    """Sweep domain count at fixed total receivers and gate the claims.
+
+    ``total_receivers`` is split evenly (it must divide by every entry of
+    ``domain_counts`` so every point serves the same population).  The
+    returned dict is JSON-friendly; ``result["ok"]`` is the CI gate.  With
+    ``check_parallel`` the smallest point is rerun in executor-parallel
+    mode and must match the sequential run exactly (modulo wall timings).
+    """
+    counts = sorted(set(int(n) for n in domain_counts))
+    if not counts or counts[0] < 1:
+        raise ValueError("domain_counts must be positive integers")
+    for n in counts:
+        if total_receivers % n:
+            raise ValueError(
+                f"total_receivers={total_receivers} does not divide evenly "
+                f"into {n} domains"
+            )
+    bus = None
+    if recorder is not None:
+        bus = recorder.bus if hasattr(recorder, "bus") else None
+
+    points: List[Dict[str, Any]] = []
+    for n in counts:
+        points.append(_run_point(
+            n, total_receivers // n, seed, duration, cadence, parallel,
+            traffic, bus=bus if n == counts[-1] else None,
+        ))
+
+    cbprs = [p["control_bytes_per_receiver"] for p in points]
+    flat = (
+        max(cbprs) <= min(cbprs) * (1.0 + tolerance) if min(cbprs) > 0
+        else False
+    )
+    bounded = all(
+        p["coordinator"]["peak_tracked"] <= p["n_domains"] * len(p["advice"])
+        for p in points
+    )
+    isolated = all(
+        p["coordinator"]["rejected_messages"] == 0 for p in points
+    )
+    converged = all(
+        rec["deviation"] <= deviation_budget
+        for p in points for rec in p["domains"].values()
+    )
+
+    modes_match: Optional[bool] = None
+    parallel_point: Optional[Dict[str, Any]] = None
+    if check_parallel:
+        parallel_point = _run_point(
+            counts[0], total_receivers // counts[0], seed, duration,
+            cadence, not parallel, traffic,
+        )
+        modes_match = _comparable(points[0]) == _comparable(parallel_point)
+
+    ok = flat and bounded and isolated and converged and modes_match is not False
+    return {
+        "seed": seed,
+        "duration": duration,
+        "cadence": cadence,
+        "total_receivers": total_receivers,
+        "domain_counts": counts,
+        "parallel": parallel,
+        "tolerance": tolerance,
+        "deviation_budget": deviation_budget,
+        "points": points,
+        "parallel_check": (
+            None if parallel_point is None else {
+                "n_domains": parallel_point["n_domains"],
+                "parallel": parallel_point["parallel"],
+                "identical": modes_match,
+            }
+        ),
+        "gates": {
+            "control_bytes_flat": flat,
+            "coordinator_bounded": bounded,
+            "no_per_receiver_reports": isolated,
+            "domains_converged": converged,
+            "modes_identical": modes_match,
+        },
+        "ok": bool(ok),
+    }
+
+
+def render_federate_report(result: Dict[str, Any]) -> str:
+    """Human-readable rendering of a :func:`run_federate` result."""
+    lines = [
+        f"federate seed={result['seed']} duration={result['duration']:.0f}s "
+        f"cadence={result['cadence']:.1f}s "
+        f"total_receivers={result['total_receivers']} "
+        f"domains={result['domain_counts']} "
+        f"({'parallel' if result['parallel'] else 'sequential'} shards)"
+    ]
+    for p in result["points"]:
+        coord = p["coordinator"]
+        lines.append(
+            f"  {p['n_domains']:>2} domains x {p['receivers_per_domain']} rx: "
+            f"{p['control_bytes_per_receiver']:.1f} control B/rx "
+            f"(intra {p['control_bytes']['intra_domain']}, "
+            f"summary {p['control_bytes']['summary']}, "
+            f"advice {p['control_bytes']['advice']}), "
+            f"coordinator peak {coord['peak_tracked']} summaries / "
+            f"{coord['state_bytes']} B, "
+            f"{p['events']} events in {p['wall_s']:.2f}s wall"
+        )
+        devs = [rec["deviation"] for rec in p["domains"].values()]
+        lines.append(
+            f"     deviation max {max(devs):.3f} across domains; advice: "
+            + "; ".join(
+                f"session {sid}: ceiling {a['ceiling']} floor {a['floor']} "
+                f"({a['receivers']} rx)"
+                for sid, a in p["advice"].items()
+            )
+        )
+    gates = result["gates"]
+    for name, val in gates.items():
+        lines.append(f"  gate {name}: "
+                     + ("PASS" if val else "skipped" if val is None else "FAIL"))
+    lines.append("RESULT: " + ("OK" if result["ok"] else "FAILED"))
+    return "\n".join(lines)

@@ -1,0 +1,189 @@
+"""Lockstep execution of domain shards with barrier-time summary exchange.
+
+A :class:`FederatedSession` owns one :class:`~repro.federation.shard.
+DomainShard` per domain plus the root :class:`~repro.federation.coordinator.
+FederationCoordinator`, and advances everything in rounds of ``cadence``
+simulated seconds:
+
+1. every shard simulates independently up to the round barrier
+   (sequentially in sorted-domain order by default, or on a
+   ``concurrent.futures`` thread pool with ``parallel=True``);
+2. at the barrier each shard publishes one
+   :class:`~repro.control.messages.SubtreeSummary` per session;
+3. the coordinator merges them (sorted order) into per-session
+   :class:`~repro.control.messages.FederationAdvice` fanned back out to
+   every shard.
+
+Determinism model: shards share no mutable state and draw from seeds
+derived per domain name, so each shard's trajectory is a pure function of
+``(federation seed, its view, cadence schedule)`` — thread interleaving
+cannot touch it.  All cross-shard work (steps 2–3) happens on the calling
+thread after the barrier, in sorted order.  Sequential and parallel modes
+therefore produce identical summaries, advice and per-shard results; the
+only things allowed to differ are wall-clock profiler laps.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..control.messages import ADVICE_SIZE
+from .coordinator import FederationCoordinator
+from .partition import DomainView
+from .shard import DomainShard
+
+__all__ = ["FederatedSession"]
+
+
+class FederatedSession:
+    """Run a set of domain views as a federated control plane."""
+
+    def __init__(
+        self,
+        views: Sequence[DomainView],
+        seed: int = 0,
+        cadence: float = 4.0,
+        parallel: bool = False,
+        max_workers: Optional[int] = None,
+        config: Optional[Any] = None,
+        interval: Optional[float] = None,
+        bus: Optional[Any] = None,
+        profiler: Optional[Any] = None,
+    ):
+        if cadence <= 0:
+            raise ValueError("cadence must be positive")
+        if not views:
+            raise ValueError("need at least one domain view")
+        ordered = sorted(views, key=lambda v: str(v.domain))
+        names = [str(v.domain) for v in ordered]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate domain names: {names}")
+        self.cadence = float(cadence)
+        self.parallel = bool(parallel)
+        self.max_workers = max_workers
+        self.bus = bus
+        self.profiler = profiler
+        self.shards: Dict[str, DomainShard] = {
+            str(v.domain): DomainShard(
+                v, seed=seed, config=config, interval=interval
+            )
+            for v in ordered
+        }
+        self.coordinator = FederationCoordinator(bus=bus)
+        self.rounds_completed = 0
+        self.now = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def n_domains(self) -> int:
+        return len(self.shards)
+
+    @property
+    def controllers(self) -> Dict[str, Any]:
+        """Domain-name -> controller map (bench-harness compatible)."""
+        return {name: shard.controller for name, shard in self.shards.items()}
+
+    @property
+    def receivers(self) -> List[Any]:
+        """All receiver handles across shards, sorted-domain order."""
+        out: List[Any] = []
+        for name in sorted(self.shards):
+            out.extend(self.shards[name].scenario.receivers)
+        return out
+
+    @property
+    def events_processed(self) -> int:
+        return sum(
+            s.scenario.sched.events_processed for s in self.shards.values()
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, duration: float) -> None:
+        """Advance the federation ``duration`` simulated seconds."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        end = self.now + duration
+        while self.now < end:
+            target = min(self.now + self.cadence, end)
+            self._advance_shards(target)
+            self._exchange(target)
+            self.rounds_completed += 1
+            if self.bus is not None:
+                self.bus.emit(
+                    "federation.round", target,
+                    round=self.rounds_completed,
+                    domains=self.n_domains,
+                    summaries=self.coordinator.tracked(),
+                    parallel=self.parallel,
+                )
+            self.now = target
+
+    # ------------------------------------------------------------------
+    def _advance_shards(self, target: float) -> None:
+        t0 = perf_counter()
+        if self.parallel and len(self.shards) > 1:
+            workers = self.max_workers or len(self.shards)
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                laps = list(pool.map(
+                    _advance_one,
+                    [self.shards[name] for name in sorted(self.shards)],
+                    [target] * len(self.shards),
+                ))
+        else:
+            laps = [
+                _advance_one(self.shards[name], target)
+                for name in sorted(self.shards)
+            ]
+        if self.profiler is not None:
+            for name, wall in laps:
+                self.profiler.add(f"fed.shard.{name}", wall)
+            self.profiler.add("fed.round", perf_counter() - t0)
+
+    def _exchange(self, now: float) -> None:
+        """Barrier-time summary/advice exchange, on the calling thread."""
+        t0 = perf_counter()
+        for name in sorted(self.shards):
+            for summary in self.shards[name].summaries(now):
+                self.coordinator.receive(summary)
+        advices = self.coordinator.merge(now)
+        for advice in advices:
+            for name in sorted(self.shards):
+                self.shards[name].apply_advice(advice)
+                self.coordinator.control_bytes_sent += ADVICE_SIZE
+        if self.profiler is not None:
+            self.profiler.add("fed.exchange", perf_counter() - t0)
+
+    # ------------------------------------------------------------------
+    def control_bytes_by_tier(self) -> Dict[str, int]:
+        """Control-plane bytes split by tier.
+
+        * ``intra_domain`` — receivers <-> their domain controller (scales
+          with receivers);
+        * ``summary`` — shards -> coordinator (scales with domains ×
+          sessions × rounds);
+        * ``advice`` — coordinator -> shards (ditto).
+        """
+        intra = sum(
+            self.shards[name].control_bytes_intra()
+            for name in sorted(self.shards)
+        )
+        summary = sum(
+            self.shards[name].summary_bytes_sent
+            for name in sorted(self.shards)
+        )
+        return {
+            "intra_domain": int(intra),
+            "summary": int(summary),
+            "advice": int(self.coordinator.control_bytes_sent),
+        }
+
+    def control_bytes_total(self) -> int:
+        return sum(self.control_bytes_by_tier().values())
+
+
+def _advance_one(shard: DomainShard, target: float) -> Any:
+    t0 = perf_counter()
+    shard.run_to(target)
+    return (str(shard.domain), perf_counter() - t0)

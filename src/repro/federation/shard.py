@@ -1,0 +1,218 @@
+"""One administrative domain as a standalone simulation slice.
+
+A :class:`DomainShard` rebuilds a :class:`~repro.federation.partition.
+DomainView` as its own :class:`~repro.experiments.scenario.Scenario` — own
+scheduler, network, multicast trees, source, receivers and one
+:class:`~repro.control.agent.ControllerAgent` at the border gateway.  The
+session's media enters the domain through a synthetic border node wired to
+the gateway with the captured uplink bandwidth/delay, standing in for the
+tree upstream of the border: intra-domain bottlenecks, queues and loss are
+simulated exactly as in the global topology.
+
+Shards share **no** mutable state (the layer schedule is immutable config),
+so a federation run can advance them from worker threads.  Determinism
+comes from seeding, not scheduling: each shard derives its own RNG root
+from ``(federation seed, domain name)`` with the same BLAKE2 construction
+:class:`~repro.simnet.rng.RngRegistry` uses for streams, so per-shard draws
+are independent of domain count, sibling domains and executor interleaving.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, List, Optional
+
+from ..control.messages import SUMMARY_SIZE, FederationAdvice, SubtreeSummary
+from ..experiments.scenario import Scenario
+from .partition import DomainView
+
+__all__ = ["BORDER_NODE", "DomainShard", "shard_seed"]
+
+#: Name of the synthetic border-ingress node every shard adds; the real
+#: source lives outside the domain, this node replays its traffic into the
+#: domain through the captured border uplink.
+BORDER_NODE = "__border__"
+
+
+def shard_seed(seed: int, domain: Any) -> int:
+    """Deterministic per-shard root seed, independent of sibling domains.
+
+    Same derivation shape as :meth:`repro.simnet.rng.RngRegistry.fork`:
+    BLAKE2 over ``"<seed>:fed/<domain>"``.  Adding or removing domains
+    never perturbs another shard's draws.
+    """
+    digest = hashlib.blake2b(
+        f"{int(seed)}:fed/{domain}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "little")
+
+
+class DomainShard:
+    """Run one domain's controller + simnet slice in lockstep rounds."""
+
+    def __init__(
+        self,
+        view: DomainView,
+        seed: int = 0,
+        config: Optional[Any] = None,
+        interval: Optional[float] = None,
+    ):
+        if view.gateway == BORDER_NODE or BORDER_NODE in view.nodes:
+            raise ValueError(f"domain may not contain the reserved node "
+                             f"{BORDER_NODE!r}")
+        self.view = view
+        self.domain = view.domain
+        self.seed = shard_seed(seed, view.domain)
+        self.advice: Dict[Any, FederationAdvice] = {}
+        self.advice_received = 0
+        #: SubtreeSummary bytes this shard sent upward (federation tier).
+        self.summary_bytes_sent = 0
+        self.scenario = self._build(config, interval)
+
+    # ------------------------------------------------------------------
+    def _build(self, config: Optional[Any], interval: Optional[float]) -> Scenario:
+        view = self.view
+        sc = Scenario(seed=self.seed)
+        sc.add_node(BORDER_NODE)
+        for name in view.nodes:
+            sc.add_node(name)
+        sc.add_link(
+            BORDER_NODE,
+            view.gateway,
+            bandwidth=view.uplink_bandwidth,
+            delay=view.uplink_delay,
+            queue_limit=view.uplink_queue_limit,
+        )
+        for link in view.links:
+            sc.add_link(link.a, link.b, bandwidth=link.bandwidth,
+                        delay=link.delay, queue_limit=link.queue_limit)
+        for sess in view.sessions:
+            sc.add_session(
+                BORDER_NODE,
+                traffic=sess.traffic,
+                peak_to_mean=sess.peak_to_mean,
+                schedule=sess.schedule,
+                session_id=sess.session_id,
+            )
+        sc.attach_controller(
+            view.gateway,
+            name=str(view.domain),
+            domain=set(view.nodes),
+            config=config,
+            interval=interval,
+        )
+        for r in view.receivers:
+            sc.add_receiver(
+                r.session_id, r.node, receiver_id=r.receiver_id,
+                initial_level=r.initial_level, mode=r.mode,
+                controller=str(view.domain),
+            )
+        return sc
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.scenario.sched.now
+
+    @property
+    def controller(self) -> Any:
+        return self.scenario.controllers[str(self.domain)]
+
+    def run_to(self, t: float) -> None:
+        """Advance this shard's scheduler to simulated time ``t``."""
+        remaining = t - self.scenario.sched.now
+        if remaining > 0:
+            self.scenario.run(remaining)
+
+    # ------------------------------------------------------------------
+    def summaries(self, now: float) -> List[SubtreeSummary]:
+        """One :class:`SubtreeSummary` per session, from controller state.
+
+        Aggregates only: receiver identities, registrations and raw reports
+        never leave the shard.  ``summary_bytes_sent`` is charged here —
+        the summary is about to cross the domain boundary.
+        """
+        controller = self.controller
+        out: List[SubtreeSummary] = []
+        for sid in sorted(controller.sessions, key=str):
+            regs = [
+                rid for (s, rid) in sorted(controller.registrations, key=_key)
+                if s == sid
+            ]
+            losses: List[float] = []
+            bottleneck = float("inf")
+            for (s, _rid), report in sorted(
+                controller.latest_reports.items(), key=lambda kv: _key(kv[0])
+            ):
+                if s != sid:
+                    continue
+                losses.append(report.loss_rate)
+                if report.t1 > report.t0:
+                    goodput = report.bytes * 8.0 / (report.t1 - report.t0)
+                    bottleneck = min(bottleneck, goodput)
+            levels = self._suggested_levels(sid)
+            out.append(SubtreeSummary(
+                domain=self.domain,
+                session_id=sid,
+                gateway=self.view.gateway,
+                receiver_count=len(regs),
+                mean_loss=(sum(losses) / len(losses)) if losses else 0.0,
+                max_loss=max(losses) if losses else 0.0,
+                min_level=min(levels) if levels else 0,
+                max_level=max(levels) if levels else 0,
+                level_sum=sum(levels),
+                bottleneck_bps=(
+                    bottleneck if bottleneck != float("inf") else 0.0
+                ),
+                issued_at=now,
+            ))
+        self.summary_bytes_sent += SUMMARY_SIZE * len(out)
+        return out
+
+    def _suggested_levels(self, sid: Any) -> List[int]:
+        controller = self.controller
+        suggestions = controller.last_suggestions
+        if suggestions is not None:
+            levels = [
+                lvl for (s, _rid), lvl in sorted(
+                    suggestions.items(), key=lambda kv: _key(kv[0])
+                ) if s == sid
+            ]
+            if levels:
+                return levels
+        # Before the first tick, fall back to reported subscription levels.
+        return [
+            report.level for (s, _rid), report in sorted(
+                controller.latest_reports.items(), key=lambda kv: _key(kv[0])
+            ) if s == sid
+        ]
+
+    # ------------------------------------------------------------------
+    def apply_advice(self, advice: FederationAdvice) -> None:
+        """Record session-level advice from the coordinator.
+
+        Advisory by design in this PR: the domain controller keeps full
+        authority inside its domain (the paper's domain isolation), and the
+        recorded ceiling is what a source-side layer pruner would consume.
+        """
+        if not isinstance(advice, FederationAdvice):
+            raise TypeError(
+                f"shards accept FederationAdvice only, got "
+                f"{type(advice).__name__}"
+            )
+        self.advice[advice.session_id] = advice
+        self.advice_received += 1
+
+    # ------------------------------------------------------------------
+    def control_bytes_intra(self) -> int:
+        """Receiver-tier control bytes: receiver agents <-> domain controller."""
+        sc = self.scenario
+        total = sum(c.control_bytes_sent for c in sc.controllers.values())
+        for h in sc.receivers:
+            if h.agent is not None:
+                total += getattr(h.agent, "control_bytes_sent", 0)
+        return int(total)
+
+
+def _key(pair: Any) -> Any:
+    return (str(pair[0]), str(pair[1]))

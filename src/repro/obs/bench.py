@@ -69,12 +69,37 @@ BENCH_SUITE: Tuple[Tuple[str, Callable[[], Any], float, float], ...] = (
 
 
 def _control_bytes(sc: Any) -> float:
+    """All control-plane bytes a scenario's senders put on the wire.
+
+    Covers every tier: domain controllers, receiver agents, and —
+    for federated scenarios — coordinator/aggregator senders
+    (``sc.coordinator``, plus anything in ``sc.aggregators``) and the
+    shards' summary uplinks.  Aggregator-tier senders only need a
+    ``control_bytes_sent`` counter to be counted.
+    """
     total = sum(c.control_bytes_sent for c in sc.controllers.values())
     for h in sc.receivers:
         agent = h.agent
         if agent is not None:
             total += getattr(agent, "control_bytes_sent", 0)
+    aggregators = list(getattr(sc, "aggregators", ()) or ())
+    coordinator = getattr(sc, "coordinator", None)
+    if coordinator is not None:
+        aggregators.append(coordinator)
+    for sender in aggregators:
+        total += getattr(sender, "control_bytes_sent", 0)
+    shards = getattr(sc, "shards", None)
+    if shards:
+        total += sum(
+            getattr(shard, "summary_bytes_sent", 0)
+            for shard in shards.values()
+        )
     return float(total)
+
+
+def _n_domains(sc: Any) -> int:
+    """Domain count of a scenario: its controller shards (min 1)."""
+    return max(1, len(getattr(sc, "controllers", {}) or {}))
 
 
 def run_bench(quick: bool = False, duration_override: Optional[float] = None) -> Dict[str, Any]:
@@ -118,6 +143,7 @@ def run_bench(quick: bool = False, duration_override: Optional[float] = None) ->
             "events_per_sec": round(events / wall, 1) if wall > 0 else 0.0,
             "sim_wall_ratio": round(duration / wall, 2) if wall > 0 else 0.0,
             "n_receivers": len(sc.receivers),
+            "n_domains": _n_domains(sc),
             "control_bytes": _control_bytes(sc),
             "control_bytes_per_receiver": round(_control_bytes(sc) / n_receivers, 1),
             "queue_drops": sc.network.total_drops(),

@@ -89,6 +89,16 @@ TOPIC_REGISTRY: Tuple[TopicSpec, ...] = (
               "a member's tree connectivity changed (`group`, `node`, `lost`)"),
     TopicSpec("fault.*", "run recorder",
               "mirrored fault-injector log entries (dynamic kind suffix)"),
+    TopicSpec("federation.summary", "federation/coordinator.py",
+              "one domain's aggregate reached the coordinator (`domain`, "
+              "`session`, `receivers`, `mean_loss`, `min_level`, "
+              "`max_level`, `bottleneck_bps`)"),
+    TopicSpec("federation.suggestion", "federation/coordinator.py",
+              "merged session-level layer advice (`session`, `ceiling`, "
+              "`floor`, `receivers`, `domains`)"),
+    TopicSpec("federation.round", "federation/session.py",
+              "one lockstep round completed (`round`, `domains`, "
+              "`summaries`, `parallel`)"),
 )
 
 

@@ -135,6 +135,29 @@ class TestCli:
                   "--baseline", str(baseline)])
         assert "FAIL" in capsys.readouterr().out
 
+    def test_federate_json(self, capsys):
+        assert main(["federate", "--receivers", "16", "--domains", "2,4",
+                     "--duration", "20", "--no-parallel-check",
+                     "--no-artifacts", "--json"]) == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["ok"] is True
+        assert [p["n_domains"] for p in result["points"]] == [2, 4]
+        assert result["gates"]["no_per_receiver_reports"] is True
+
+    def test_federate_writes_artifacts_with_events(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path))
+        assert main(["federate", "--receivers", "8", "--domains", "2",
+                     "--duration", "20", "--no-parallel-check"]) == 0
+        capsys.readouterr()
+        (run_dir,) = tmp_path.iterdir()
+        assert run_dir.name.startswith("federate-s1-")
+        events = (run_dir / "events.jsonl").read_text()
+        assert '"federation.round"' in events
+        assert '"federation.summary"' in events
+        assert '"federation.suggestion"' in events
+
     def test_fig9_summary_output(self, capsys):
         assert main(["fig9", "--duration", "40"]) == 0
         out = capsys.readouterr().out

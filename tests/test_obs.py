@@ -111,7 +111,8 @@ class TestTopicRegistry:
         assert DEFAULT_TOPICS == default_record_patterns()
         # everything except the sched.dispatch firehose, one family each
         assert DEFAULT_TOPICS == (
-            "ctrl.*", "fault.*", "guard.*", "link.*", "recv.*", "tree.*"
+            "ctrl.*", "fault.*", "federation.*", "guard.*", "link.*",
+            "recv.*", "tree.*"
         )
 
     def test_registry_covers_known_topics(self):
@@ -445,6 +446,48 @@ class TestBench:
 
         report = render_bench_report(result)
         assert "TOTAL" in report and "chaos_storm" in report
+
+    def test_scenarios_record_domain_count(self):
+        from repro.obs.bench import _n_domains
+
+        class Sc:
+            controllers = {"d1": None, "d2": None, "d3": None}
+
+        assert _n_domains(Sc()) == 3
+        assert _n_domains(object()) == 1  # controller-less scenario
+
+    def test_control_bytes_counts_federation_tiers(self):
+        """_control_bytes must see coordinator/aggregator senders and the
+        shards' summary uplinks, not just controllers and receiver agents."""
+        from repro.obs.bench import _control_bytes
+
+        class Ctrl:
+            control_bytes_sent = 100
+
+        class Agent:
+            control_bytes_sent = 10
+
+        class Handle:
+            agent = Agent()
+
+        class Coord:
+            control_bytes_sent = 7
+
+        class Shard:
+            summary_bytes_sent = 5
+
+        class Sc:
+            controllers = {"d1": Ctrl()}
+            receivers = [Handle(), Handle()]
+
+        assert _control_bytes(Sc()) == 120.0
+
+        class Fed(Sc):
+            coordinator = Coord()
+            aggregators = (Coord(),)
+            shards = {"d1": Shard(), "d2": Shard()}
+
+        assert _control_bytes(Fed()) == 120.0 + 7 + 7 + 5 + 5
 
 
 class TestSchedulerObservability:

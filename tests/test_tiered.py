@@ -2,7 +2,55 @@
 
 import pytest
 
-from repro.experiments.tiered import TierSpec, build_tiered_topology
+from repro.experiments.tiered import DEFAULT_TIERS, TierSpec, build_tiered_topology
+
+
+def _topology_fingerprint(sc):
+    """Everything structural about a built scenario: nodes, full link
+    attributes (bandwidth, delay, queue capacity), receiver placement and
+    session wiring."""
+    return {
+        "nodes": list(map(str, sc.network.nodes)),
+        "links": {
+            (str(a), str(b)): (link.bandwidth, link.delay, link.queue.capacity)
+            for (a, b), link in sc.network.links.items()
+        },
+        "receivers": [
+            (str(h.receiver_id), str(h.node), h.session_id, h.receiver.level)
+            for h in sc.receivers
+        ],
+        "sessions": {
+            sid: (str(d.source), len(d.groups), d.schedule.n_layers)
+            for sid, d in sc.sessions.items()
+        },
+    }
+
+
+def _tier_link_bandwidths(sc, tiers):
+    """Tier name -> bandwidths of the downward links into that tier
+    (parent strictly in the tier above; reverse directions and host LANs
+    excluded)."""
+    prefixes = [t.name for t in tiers]
+
+    def tier_of(name):
+        name = str(name)
+        if name == "src":
+            return "src"
+        for p in sorted(prefixes, key=len, reverse=True):
+            if name.startswith(p) and name[len(p):].isdigit():
+                return p
+        return None
+
+    parent_of = {prefixes[0]: "src"}
+    for above, below in zip(prefixes, prefixes[1:]):
+        parent_of[below] = above
+
+    out = {p: [] for p in prefixes}
+    for (a, b), link in sc.network.links.items():
+        tier = tier_of(b)
+        if tier in out and tier_of(a) == parent_of[tier]:
+            out[tier].append(link.bandwidth)
+    return out
 
 
 def test_structure_tiers_present():
@@ -22,6 +70,32 @@ def test_deterministic_for_seed():
     assert {
         k: l.bandwidth for k, l in a.network.links.items()
     } == {k: l.bandwidth for k, l in b.network.links.items()}
+
+
+@pytest.mark.parametrize("seed", [0, 3, 11, 42])
+def test_full_fingerprint_deterministic(seed):
+    """Same seed reproduces the *entire* topology: every link's bandwidth,
+    delay and queue capacity, receiver placement with initial levels, and
+    session wiring — not just the node set."""
+    a = _topology_fingerprint(build_tiered_topology(seed=seed))
+    b = _topology_fingerprint(build_tiered_topology(seed=seed))
+    assert a == b
+
+
+@pytest.mark.parametrize("seed", [0, 3, 11, 42])
+def test_bandwidth_gradient_every_tier_pair(seed):
+    """The paper's capacity gradient holds tier-by-tier: every downward
+    link into tier t is strictly faster than every link into tier t+1."""
+    sc = build_tiered_topology(seed=seed)
+    by_tier = _tier_link_bandwidths(sc, DEFAULT_TIERS)
+    for upper, lower in zip(DEFAULT_TIERS, DEFAULT_TIERS[1:]):
+        ups = by_tier[upper.name]
+        downs = by_tier[lower.name]
+        assert ups and downs, (upper.name, lower.name)
+        assert min(ups) > max(downs), (upper.name, lower.name, min(ups), max(downs))
+        # and each tier draws only from its configured range
+        assert all(upper.bandwidth[0] <= bw <= upper.bandwidth[1] for bw in ups)
+        assert all(lower.bandwidth[0] <= bw <= lower.bandwidth[1] for bw in downs)
 
 
 def test_different_seeds_differ():
