@@ -9,6 +9,7 @@ Usage::
     python -m repro byzantine --seed 1 [--attack-start 30] [--json]
     python -m repro churn --seed 1 [--backends spt,protected] [--json]
     python -m repro federate --seed 1 [--domains 2,4,8] [--parallel] [--json]
+    python -m repro fedchaos --seed 1 [--loss 0.05,0.2] [--windows 3,4] [--json]
     python -m repro bench [--quick] [--baseline BENCH_x.json]
     python -m repro lint [--json] [--root DIR]
 
@@ -16,9 +17,10 @@ Usage::
 DESIGN.md §11) and exits 0 when clean, 1 on findings, 2 on internal error.
 
 ``REPRO_FULL=1`` switches every experiment to the paper's 1200 s horizon.
-``demo``, ``chaos``, ``byzantine``, ``churn`` and ``federate`` write run
-artifacts (manifest, JSONL event log, metrics) under ``runs/`` — move the
-root with ``REPRO_RUNS_DIR`` or disable with ``--no-artifacts``.
+``demo``, ``chaos``, ``byzantine``, ``churn``, ``federate`` and
+``fedchaos`` write run artifacts (manifest, JSONL event log, metrics)
+under ``runs/`` — move the root with ``REPRO_RUNS_DIR`` or disable with
+``--no-artifacts``.
 """
 
 from __future__ import annotations
@@ -230,6 +232,53 @@ def _cmd_federate(args) -> None:
         sys.exit(1)
 
 
+def _cmd_fedchaos(args) -> None:
+    from .faults import FaultPlan
+    from .federation import (
+        DEFAULT_CHAOS_DURATION,
+        render_fedchaos_report,
+        run_fedchaos,
+    )
+
+    plan = None
+    if args.plan:
+        try:
+            with open(args.plan) as fh:
+                plan = FaultPlan.from_dicts(json.load(fh))
+        except (OSError, ValueError, KeyError) as exc:
+            sys.exit(f"fedchaos: cannot load fault plan {args.plan!r}: {exc}")
+    loss_rates = [float(x) for x in args.loss.split(",") if x]
+    windows = [int(x) for x in args.windows.split(",") if x]
+    recorder = _make_recorder(args, "fedchaos")
+    try:
+        result = run_fedchaos(
+            seed=args.seed,
+            duration=args.duration or DEFAULT_CHAOS_DURATION,
+            cadence=args.cadence,
+            n_domains=args.domains,
+            receivers_per_domain=args.receivers,
+            loss_rates=loss_rates,
+            partition_rounds=windows,
+            partition_domain=args.partition_domain,
+            staleness_budget=args.staleness_budget,
+            retry_limit=args.retries,
+            recovery_rounds=args.recovery_rounds,
+            plan=plan,
+            check_parallel=not args.no_parallel_check,
+            recorder=recorder,
+        )
+    except ValueError as exc:
+        sys.exit(f"fedchaos: {exc}")
+    if recorder is not None:
+        print(f"run artifacts: {recorder.finalize(result)}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(result, indent=2, default=str))
+    else:
+        print(render_fedchaos_report(result))
+    if not result["ok"]:
+        sys.exit(1)
+
+
 def _cmd_byzantine(args) -> None:
     from .experiments.byzantine import (
         DEFAULT_DURATION,
@@ -419,6 +468,46 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     fed.add_argument("--no-artifacts", action="store_true",
                      help="skip writing the run directory under runs/")
     fed.set_defaults(fn=_cmd_federate)
+
+    fedchaos = sub.add_parser(
+        "fedchaos",
+        help="sweep inter-domain loss and partition windows with a "
+             "coordinator crash/failover and gate partition tolerance",
+    )
+    common(fedchaos)
+    fedchaos.add_argument("--domains", type=int, default=3,
+                          help="number of administrative domains (default 3)")
+    fedchaos.add_argument("--receivers", type=int, default=8,
+                          help="receivers per domain (default 8)")
+    fedchaos.add_argument("--cadence", type=float, default=4.0,
+                          help="summary-exchange cadence, simulated seconds "
+                               "(default 4)")
+    fedchaos.add_argument("--loss", type=str, default="0.05,0.2",
+                          help="comma-separated channel loss rates to sweep "
+                               "(default 0.05,0.2)")
+    fedchaos.add_argument("--windows", type=str, default="3,4",
+                          help="comma-separated partition windows, in "
+                               "lockstep rounds (default 3,4)")
+    fedchaos.add_argument("--partition-domain", type=str, default="d2",
+                          help="domain cut off during the window "
+                               "(default d2)")
+    fedchaos.add_argument("--staleness-budget", type=int, default=2,
+                          help="advice age (rounds) tolerated before the "
+                               "ceiling decays (default 2)")
+    fedchaos.add_argument("--retries", type=int, default=3,
+                          help="summary send attempts per round (default 3)")
+    fedchaos.add_argument("--recovery-rounds", type=int, default=3,
+                          help="rounds allowed for post-failover recovery "
+                               "(default 3)")
+    fedchaos.add_argument("--plan", type=str, default=None,
+                          help="JSON fault plan replacing the built-in "
+                               "storm (collapses the sweep to one point)")
+    fedchaos.add_argument("--no-parallel-check", action="store_true",
+                          help="skip the sequential-vs-parallel equivalence "
+                               "rerun of each point")
+    fedchaos.add_argument("--no-artifacts", action="store_true",
+                          help="skip writing the run directory under runs/")
+    fedchaos.set_defaults(fn=_cmd_fedchaos)
 
     byz = sub.add_parser(
         "byzantine",

@@ -451,6 +451,12 @@ class ControllerAgent:
         self.registration_ttl_intervals = registration_ttl_intervals
         #: Level quarantined receivers are pinned to (and pruned above).
         self.quarantine_level = quarantine_level
+        #: session_id -> hard layer ceiling imposed from above (federation
+        #: bounded-staleness enforcement: a shard whose advice has gone
+        #: stale clamps its controller here so a dark domain cannot
+        #: over-subscribe a shared bottleneck).  Empty = no clamp; classic
+        #: single-domain experiments never touch it.
+        self.session_ceilings: Dict[Any, int] = {}
         #: Discard reports whose measurement window overlaps a tree-repair
         #: disruption at the reporting node (the receiver sat on a detached
         #: subtree — its 100% loss is plumbing, not congestion).  Requires a
@@ -471,6 +477,7 @@ class ControllerAgent:
         self._last_suggested: Dict[tuple, int] = {}
         self.reports_received = 0
         self.suggestions_sent = 0
+        self.suggestions_clamped = 0
         self.updates_run = 0
         self.discovery_failures = 0
         self.sessions_skipped = 0
@@ -546,9 +553,11 @@ class ControllerAgent:
         self._last_heard.clear()
         self._last_suggested.clear()
         self.guard.reset()
+        self.session_ceilings.clear()
         self.last_suggestions = None
         self.reports_received = 0
         self.suggestions_sent = 0
+        self.suggestions_clamped = 0
         self.updates_run = 0
         self.discovery_failures = 0
         self.sessions_skipped = 0
@@ -805,6 +814,10 @@ class ControllerAgent:
                 continue
             if self.guard.is_quarantined((sid, rid)):
                 level = min(level, self.quarantine_level)
+            ceiling = self.session_ceilings.get(sid)
+            if ceiling is not None and level > ceiling:
+                level = ceiling
+                self.suggestions_clamped += 1
             suggested_keys.add((sid, rid))
             self._last_suggested[(sid, rid)] = level
             msg = Suggestion(

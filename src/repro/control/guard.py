@@ -91,11 +91,11 @@ GUARD_EXEMPT_FIELDS: Dict[str, Set[str]] = {
     "SubtreeSummary": {
         "domain", "session_id", "gateway", "receiver_count", "mean_loss",
         "max_loss", "min_level", "max_level", "level_sum", "bottleneck_bps",
-        "issued_at",
+        "issued_at", "round",
     },
     "FederationAdvice": {
         "session_id", "ceiling", "floor", "receiver_count", "bottleneck_bps",
-        "issued_at",
+        "issued_at", "epoch", "round",
     },
 }
 

@@ -134,6 +134,12 @@ class SubtreeSummary:
     level_sum: int  # sum of suggested levels (for cross-domain means)
     bottleneck_bps: float  # worst receiver goodput estimate, bits/s
     issued_at: float
+    #: Lockstep round the summary was built at.  The coordinator keeps the
+    #: highest round per (session, domain) and drops older arrivals, which
+    #: absorbs the duplicates that retries and in-flight delays create on a
+    #: lossy inter-domain channel (0 = unsequenced legacy sender, never
+    #: fenced).
+    round: int = 0
 
 
 @dataclass(frozen=True)
@@ -145,6 +151,12 @@ class FederationAdvice:
     domains; both are derived purely from :class:`SubtreeSummary`
     aggregates, merged in sorted-domain order so sequential and parallel
     shard execution produce identical advice.
+
+    ``epoch``/``round`` make the advice safe on an unreliable channel:
+    shards reject advice from a deposed coordinator (lower epoch) or from
+    the past (lower round at the same epoch), and use ``round`` to measure
+    *advice age* while a partition keeps fresh advice out — the input to
+    the bounded-staleness ceiling decay.
     """
 
     session_id: Any
@@ -153,3 +165,5 @@ class FederationAdvice:
     receiver_count: int  # session-wide receiver total, from summary counts
     bottleneck_bps: float  # worst bottleneck estimate across all domains
     issued_at: float
+    epoch: int = 0  # coordinator fencing token, bumped on failover
+    round: int = 0  # lockstep round the merge ran at (advice-age reference)

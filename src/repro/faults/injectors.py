@@ -33,6 +33,7 @@ __all__ = [
     "MembershipFault",
     "PacketCorruptionFault",
     "FaultInjector",
+    "FederationInjector",
 ]
 
 
@@ -442,3 +443,67 @@ class FaultInjector:
 
     def _do_control_restore(self, node):
         self.wire.restore(node)
+
+
+class FederationInjector:
+    """Dispatches ``fed_*`` plan events against a ``FederatedSession``.
+
+    The federation tier has no discrete-event scheduler of its own — its
+    clock is the lockstep round barrier — so fed plans are not scheduled
+    via :meth:`FaultPlan.apply`.  The session drains due events itself at
+    the start of each round (see ``FederatedSession._fire_faults``) and
+    calls :meth:`execute`, which mutates the inter-domain channel or the
+    coordinator lifecycle.  Every executed event is appended to
+    :attr:`log` as ``(barrier_time, kind, detail)``, same shape as
+    :class:`FaultInjector`'s log.
+    """
+
+    def __init__(self, fed):
+        self.fed = fed
+        #: Barrier time of the round currently firing (set by the session).
+        self.clock = 0.0
+        self.log: List[Tuple[float, str, str]] = []
+
+    def execute(self, kind: str, args: tuple, kwargs: dict) -> None:
+        """Run one federation fault event now."""
+        handler = getattr(self, f"_do_{kind}", None)
+        if handler is None:
+            raise ValueError(f"{kind!r} is not a federation fault kind")
+        handler(*args, **kwargs)
+        detail = ", ".join(
+            [str(a) for a in args] + [f"{k}={v}" for k, v in sorted(kwargs.items())]
+        )
+        self.log.append((self.clock, kind, detail))
+
+    def _channel(self):
+        channel = self.fed.channel
+        if channel is None:
+            raise ValueError(
+                "federation channel faults need a FederatedSession built "
+                "with a channel (pass plan= or channel=)"
+            )
+        return channel
+
+    # -- dispatch targets ----------------------------------------------
+    def _do_fed_link_degrade(
+        self, loss=0.0, duplicate=0.0, delay_rounds=0, domain=None
+    ):
+        self._channel().set_impairment(
+            loss=loss, duplicate=duplicate, delay_rounds=delay_rounds,
+            domain=domain,
+        )
+
+    def _do_fed_link_restore(self, domain=None):
+        self._channel().clear_impairment(domain)
+
+    def _do_fed_partition(self, domain):
+        self._channel().partition(domain)
+
+    def _do_fed_heal(self, domain):
+        self._channel().heal(domain)
+
+    def _do_fed_coordinator_kill(self):
+        self.fed.crash_coordinator()
+
+    def _do_fed_coordinator_failover(self):
+        self.fed.failover_coordinator()

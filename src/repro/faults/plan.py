@@ -39,6 +39,15 @@ KINDS = (
     "control_restore",
     "receiver_leave",
     "receiver_join",
+    # Federation-tier faults, executed by a FederationInjector bound to a
+    # FederatedSession at round barriers (not by the scenario-level
+    # FaultInjector).
+    "fed_link_degrade",
+    "fed_link_restore",
+    "fed_partition",
+    "fed_heal",
+    "fed_coordinator_kill",
+    "fed_coordinator_failover",
 )
 
 
@@ -236,6 +245,61 @@ class FaultPlan:
         """Stop corrupting CONTROL packets originated at ``node``."""
         return self.add(time, "control_restore", node)
 
+    # -- federation tier ------------------------------------------------
+    def degrade_federation(
+        self,
+        time: float,
+        loss: float = 0.0,
+        duplicate: float = 0.0,
+        delay_rounds: int = 0,
+        domain: Optional[Any] = None,
+    ) -> "FaultPlan":
+        """Impair the inter-domain channel (all domains, or just one):
+        per-message loss/duplication probabilities and a maximum in-flight
+        delay in lockstep rounds.  Takes effect at the first round barrier
+        reaching ``time``."""
+        if not 0.0 <= loss < 1.0:
+            raise ValueError(f"loss must be in [0, 1), got {loss}")
+        if not 0.0 <= duplicate <= 1.0:
+            raise ValueError(f"duplicate must be in [0, 1], got {duplicate}")
+        if delay_rounds < 0:
+            raise ValueError(f"delay_rounds must be >= 0, got {delay_rounds}")
+        return self.add(
+            time, "fed_link_degrade", loss=loss, duplicate=duplicate,
+            delay_rounds=delay_rounds, domain=domain,
+        )
+
+    def restore_federation(
+        self, time: float, domain: Optional[Any] = None
+    ) -> "FaultPlan":
+        """Undo :meth:`degrade_federation` for one domain (or the mesh)."""
+        return self.add(time, "fed_link_restore", domain=domain)
+
+    def partition_domain(self, time: float, domain: Any) -> "FaultPlan":
+        """Cut the domain off from the federation in both directions."""
+        return self.add(time, "fed_partition", domain)
+
+    def heal_domain(self, time: float, domain: Any) -> "FaultPlan":
+        """Reconnect a partitioned domain."""
+        return self.add(time, "fed_heal", domain)
+
+    def partition_window(
+        self, start: float, end: float, domain: Any
+    ) -> "FaultPlan":
+        """Partition the domain over ``[start, end)``."""
+        if end <= start:
+            raise ValueError("need end > start")
+        return self.partition_domain(start, domain).heal_domain(end, domain)
+
+    def kill_coordinator(self, time: float) -> "FaultPlan":
+        """Crash the federation coordinator (no merges, no acks)."""
+        return self.add(time, "fed_coordinator_kill")
+
+    def failover_coordinator(self, time: float) -> "FaultPlan":
+        """Promote the standby coordinator (bumped epoch, warm summary
+        store) — clears a preceding :meth:`kill_coordinator`."""
+        return self.add(time, "fed_coordinator_failover")
+
     # ------------------------------------------------------------------
     # Application
     # ------------------------------------------------------------------
@@ -296,6 +360,9 @@ class FaultPlan:
         "byzantine_stop": ("byzantine_start",),
         "control_restore": ("control_corrupt",),
         "receiver_join": ("receiver_leave",),
+        "fed_link_restore": ("fed_link_degrade",),
+        "fed_heal": ("fed_partition",),
+        "fed_coordinator_failover": ("fed_coordinator_kill",),
     }
 
     @staticmethod
@@ -303,6 +370,10 @@ class FaultPlan:
         """The entity an event acts on (link endpoints / node / name)."""
         if ev.kind.startswith("link"):
             return tuple(ev.args[:2])
+        if ev.kind.startswith("fed_link"):
+            return ev.kwargs.get("domain")
+        if ev.kind.startswith("fed_coordinator"):
+            return "coordinator"
         if ev.args:
             return ev.args[0]
         return ev.kwargs.get("name", "default")

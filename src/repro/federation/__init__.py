@@ -15,9 +15,24 @@ real sharded subsystem:
   per-receiver report;
 * :class:`FederatedSession` drives the lockstep rounds, and
   :func:`run_federate` sweeps domain count at fixed receiver population
-  (``python -m repro federate`` / ``tools/run_federate.py``).
+  (``python -m repro federate`` / ``tools/run_federate.py``);
+* :class:`InterDomainChannel` makes the exchange fault-injectable (seeded
+  loss/delay/duplication, partitions), the coordinator fails over with
+  epoch fencing, shards retry/timeout and decay ceilings past the
+  bounded-staleness budget, and :func:`run_fedchaos` gates it all
+  (``python -m repro fedchaos`` / ``tools/run_fedchaos.py``; DESIGN.md
+  §14).
 """
 
+from .channel import ChannelImpairment, InterDomainChannel, channel_seed
+from .chaos import (
+    DEFAULT_CHAOS_DURATION,
+    DEFAULT_LOSS_RATES,
+    DEFAULT_PARTITION_ROUNDS,
+    default_fedchaos_plan,
+    render_fedchaos_report,
+    run_fedchaos,
+)
 from .coordinator import FederationCoordinator
 from .experiment import (
     DEFAULT_DOMAIN_COUNTS,
@@ -39,8 +54,12 @@ from .shard import BORDER_NODE, DomainShard, shard_seed
 
 __all__ = [
     "BORDER_NODE",
+    "ChannelImpairment",
+    "DEFAULT_CHAOS_DURATION",
     "DEFAULT_DOMAIN_COUNTS",
     "DEFAULT_DURATION",
+    "DEFAULT_LOSS_RATES",
+    "DEFAULT_PARTITION_ROUNDS",
     "DomainLink",
     "DomainPartitioner",
     "DomainReceiver",
@@ -49,9 +68,14 @@ __all__ = [
     "DomainView",
     "FederatedSession",
     "FederationCoordinator",
+    "InterDomainChannel",
     "build_federated_views",
+    "channel_seed",
+    "default_fedchaos_plan",
     "gateways_for_tier",
+    "render_fedchaos_report",
     "render_federate_report",
+    "run_fedchaos",
     "run_federate",
     "shard_seed",
 ]

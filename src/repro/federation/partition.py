@@ -184,7 +184,7 @@ class DomainPartitioner:
             member_set = set(members)
             links = self._intra_links(network, member_set)
             gateway, uplink = self._border(
-                scenario, member_set, [s for s in sessions]
+                scenario, member_set, [s for s in sessions], domain
             )
             receivers = tuple(
                 DomainReceiver(
@@ -234,7 +234,8 @@ class DomainPartitioner:
         return tuple(links)
 
     def _border(
-        self, scenario: Any, members: set, sessions: List[Any]
+        self, scenario: Any, members: set, sessions: List[Any],
+        domain: str = "?",
     ) -> Tuple[Any, Any]:
         """(gateway node, border uplink Link) for one domain."""
         network = scenario.network
@@ -258,14 +259,17 @@ class DomainPartitioner:
                             gateway, uplink_edge = hop, (prev, hop)
                         elif hop != gateway or (prev, hop) != uplink_edge:
                             raise ValueError(
-                                "domain has multiple border entry points "
-                                f"({gateway!r} via {uplink_edge!r} vs "
-                                f"{hop!r} via {(prev, hop)!r}); single-"
-                                "gateway domains only"
+                                f"domain {domain!r} has multiple border "
+                                f"entry points ({gateway!r} via "
+                                f"{uplink_edge!r} vs {hop!r} via "
+                                f"{(prev, hop)!r}); single-gateway domains "
+                                "only"
                             )
                         break
         if gateway is None or uplink_edge is None:
-            raise ValueError("domain unreachable from every session source")
+            raise ValueError(
+                f"domain {domain!r} unreachable from every session source"
+            )
         return gateway, network.links[uplink_edge]
 
     def _session_view(self, scenario: Any, session_id: Any) -> DomainSession:

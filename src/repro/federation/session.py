@@ -5,22 +5,34 @@ DomainShard` per domain plus the root :class:`~repro.federation.coordinator.
 FederationCoordinator`, and advances everything in rounds of ``cadence``
 simulated seconds:
 
-1. every shard simulates independently up to the round barrier
+1. federation fault events due by the barrier fire (channel impairments,
+   domain partitions, coordinator crash/failover — see
+   :class:`~repro.faults.injectors.FederationInjector`);
+2. every shard simulates independently up to the round barrier
    (sequentially in sorted-domain order by default, or on a
    ``concurrent.futures`` thread pool with ``parallel=True``);
-2. at the barrier each shard publishes one
-   :class:`~repro.control.messages.SubtreeSummary` per session;
-3. the coordinator merges them (sorted order) into per-session
+3. at the barrier each shard publishes one
+   :class:`~repro.control.messages.SubtreeSummary` per session — over the
+   :class:`~repro.federation.channel.InterDomainChannel` when one is
+   attached, with up to ``retry_limit`` attempts per summary (every
+   attempt is charged to the summary byte tier; exhaustion counts as an
+   exchange timeout);
+4. the coordinator (if alive) merges them (sorted order) into per-session
    :class:`~repro.control.messages.FederationAdvice` fanned back out to
-   every shard.
+   every shard, fenced by epoch/round on arrival;
+5. each shard rolls its bounded-staleness state: advice ages while a
+   domain is dark, and past the budget the shard conservatively decays its
+   controller's session ceiling.
 
 Determinism model: shards share no mutable state and draw from seeds
 derived per domain name, so each shard's trajectory is a pure function of
 ``(federation seed, its view, cadence schedule)`` — thread interleaving
-cannot touch it.  All cross-shard work (steps 2–3) happens on the calling
-thread after the barrier, in sorted order.  Sequential and parallel modes
-therefore produce identical summaries, advice and per-shard results; the
-only things allowed to differ are wall-clock profiler laps.
+cannot touch it.  All cross-shard work (steps 1, 3–5) happens on the
+calling thread after the barrier, in sorted order; the channel draws from
+per-``(domain, direction)`` streams in that same order.  Sequential and
+parallel modes therefore produce identical summaries, advice, fault
+behaviour and per-shard results; the only things allowed to differ are
+wall-clock profiler laps.
 """
 
 from __future__ import annotations
@@ -29,7 +41,8 @@ from concurrent.futures import ThreadPoolExecutor
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence
 
-from ..control.messages import ADVICE_SIZE
+from ..control.messages import ADVICE_SIZE, SUMMARY_SIZE, SubtreeSummary
+from .channel import InterDomainChannel
 from .coordinator import FederationCoordinator
 from .partition import DomainView
 from .shard import DomainShard
@@ -51,11 +64,19 @@ class FederatedSession:
         interval: Optional[float] = None,
         bus: Optional[Any] = None,
         profiler: Optional[Any] = None,
+        channel: Optional[InterDomainChannel] = None,
+        plan: Optional[Any] = None,
+        retry_limit: int = 3,
+        backoff_base: float = 0.1,
+        staleness_budget: int = 2,
+        decay_floor: int = 1,
     ):
         if cadence <= 0:
             raise ValueError("cadence must be positive")
         if not views:
             raise ValueError("need at least one domain view")
+        if retry_limit < 1:
+            raise ValueError("retry_limit must be >= 1")
         ordered = sorted(views, key=lambda v: str(v.domain))
         names = [str(v.domain) for v in ordered]
         if len(set(names)) != len(names):
@@ -65,13 +86,42 @@ class FederatedSession:
         self.max_workers = max_workers
         self.bus = bus
         self.profiler = profiler
+        self.retry_limit = int(retry_limit)
+        self.backoff_base = float(backoff_base)
         self.shards: Dict[str, DomainShard] = {
             str(v.domain): DomainShard(
-                v, seed=seed, config=config, interval=interval
+                v, seed=seed, config=config, interval=interval,
+                staleness_budget=staleness_budget, decay_floor=decay_floor,
             )
             for v in ordered
         }
         self.coordinator = FederationCoordinator(bus=bus)
+        #: Deposed coordinators (kept so cross-generation counters and the
+        #: advice byte tier survive a failover).
+        self._retired: List[FederationCoordinator] = []
+        self.coordinator_failovers = 0
+        #: Round numbers at which a failover fired (the recovery gate's
+        #: reference points).
+        self.failover_rounds: List[int] = []
+        # A fault plan needs a channel to act on; default to a perfect one.
+        if channel is None and plan is not None:
+            channel = InterDomainChannel(seed=seed)
+        self.channel = channel
+        self._injector: Optional[Any] = None
+        self._plan_events: List[Any] = []
+        self._next_event = 0
+        if plan is not None:
+            from ..faults.injectors import FederationInjector
+
+            self._injector = FederationInjector(self)
+            self._plan_events = list(plan.events)
+            for ev in self._plan_events:
+                if not ev.kind.startswith("fed_"):
+                    raise ValueError(
+                        f"FederatedSession plans accept fed_* kinds only, "
+                        f"got {ev.kind!r} (apply scenario-level faults "
+                        f"inside a shard, not at the federation tier)"
+                    )
         self.rounds_completed = 0
         self.now = 0.0
 
@@ -99,6 +149,11 @@ class FederatedSession:
             s.scenario.sched.events_processed for s in self.shards.values()
         )
 
+    @property
+    def fault_log(self) -> List[Any]:
+        """(time, kind, detail) entries of fired federation fault events."""
+        return [] if self._injector is None else self._injector.log
+
     # ------------------------------------------------------------------
     def run(self, duration: float) -> None:
         """Advance the federation ``duration`` simulated seconds."""
@@ -107,8 +162,9 @@ class FederatedSession:
         end = self.now + duration
         while self.now < end:
             target = min(self.now + self.cadence, end)
+            self._fire_faults(target)
             self._advance_shards(target)
-            self._exchange(target)
+            self._exchange(target, self.rounds_completed + 1)
             self.rounds_completed += 1
             if self.bus is not None:
                 self.bus.emit(
@@ -121,6 +177,23 @@ class FederatedSession:
             self.now = target
 
     # ------------------------------------------------------------------
+    def _fire_faults(self, target: float) -> None:
+        """Fire plan events due by ``target`` (start of this round).
+
+        An event takes effect at the first round barrier whose time reaches
+        it: an event at ``k * cadence`` governs round ``k``'s exchange.
+        """
+        if self._injector is None:
+            return
+        self._injector.clock = target
+        while (
+            self._next_event < len(self._plan_events)
+            and self._plan_events[self._next_event].time <= target
+        ):
+            ev = self._plan_events[self._next_event]
+            self._next_event += 1
+            self._injector.execute(ev.kind, ev.args, ev.kwargs)
+
     def _advance_shards(self, target: float) -> None:
         t0 = perf_counter()
         if self.parallel and len(self.shards) > 1:
@@ -141,19 +214,134 @@ class FederatedSession:
                 self.profiler.add(f"fed.shard.{name}", wall)
             self.profiler.add("fed.round", perf_counter() - t0)
 
-    def _exchange(self, now: float) -> None:
+    # ------------------------------------------------------------------
+    def _exchange(self, now: float, round_no: int) -> None:
         """Barrier-time summary/advice exchange, on the calling thread."""
         t0 = perf_counter()
+        ch = self.channel
+        if ch is not None:
+            # Delayed copies from earlier rounds arrive first; epoch/round
+            # fencing decides whether they still carry news.
+            for direction, domain, msg in ch.due(round_no):
+                if direction == "up":
+                    if self.coordinator.alive:
+                        self.coordinator.receive(msg)
+                    else:
+                        ch.stats["dead_coordinator_drops"] += 1
+                else:
+                    shard = self.shards.get(domain)
+                    if shard is not None:
+                        shard.deliver_advice(msg, now=now, bus=self.bus)
         for name in sorted(self.shards):
-            for summary in self.shards[name].summaries(now):
-                self.coordinator.receive(summary)
-        advices = self.coordinator.merge(now)
-        for advice in advices:
-            for name in sorted(self.shards):
-                self.shards[name].apply_advice(advice)
-                self.coordinator.control_bytes_sent += ADVICE_SIZE
+            shard = self.shards[name]
+            for summary in shard.summaries(now, round_no=round_no):
+                self._send_summary(shard, summary, now, round_no)
+        if self.coordinator.alive:
+            advices = self.coordinator.merge(now, round_no=round_no)
+            for advice in advices:
+                for name in sorted(self.shards):
+                    self.coordinator.control_bytes_sent += ADVICE_SIZE
+                    if ch is None:
+                        self.shards[name].deliver_advice(
+                            advice, now=now, bus=self.bus
+                        )
+                    elif ch.send_down(name, advice, round_no) == "delivered":
+                        self.shards[name].deliver_advice(
+                            advice, now=now, bus=self.bus
+                        )
+        for name in sorted(self.shards):
+            self.shards[name].roll_staleness(round_no, now, bus=self.bus)
         if self.profiler is not None:
             self.profiler.add("fed.exchange", perf_counter() - t0)
+
+    def _send_summary(
+        self, shard: DomainShard, summary: SubtreeSummary,
+        now: float, round_no: int,
+    ) -> None:
+        """Push one summary upward, retrying with (notional) backoff.
+
+        The first attempt's bytes were charged by ``shard.summaries``;
+        every retry charges another ``SUMMARY_SIZE`` so the byte tiers
+        reflect what a lossy channel really costs.  An attempt is
+        acknowledged only when a live coordinator takes delivery — loss,
+        in-flight delay, a partition or a dead coordinator all look the
+        same to the sender: silence, then retry, then timeout.
+        """
+        if self.channel is None:
+            self.coordinator.receive(summary)
+            return
+        domain = str(shard.domain)
+        for attempt in range(1, self.retry_limit + 1):
+            if attempt > 1:
+                shard.summary_bytes_sent += SUMMARY_SIZE
+                shard.summary_retries += 1
+                if self.bus is not None:
+                    self.bus.emit(
+                        "federation.retry", now,
+                        domain=shard.domain, session=summary.session_id,
+                        attempt=attempt,
+                        backoff_s=self.backoff_base * 2 ** (attempt - 2),
+                    )
+            outcome = self.channel.send_up(domain, summary, round_no)
+            if outcome == "delivered":
+                if self.coordinator.alive:
+                    self.coordinator.receive(summary)
+                    return
+                self.channel.stats["dead_coordinator_drops"] += 1
+        shard.summary_timeouts += 1
+        if self.bus is not None:
+            self.bus.emit(
+                "federation.timeout", now,
+                domain=shard.domain, session=summary.session_id,
+                attempts=self.retry_limit,
+            )
+
+    # ------------------------------------------------------------------
+    # Coordinator lifecycle (driven by fed_coordinator_* fault events)
+    # ------------------------------------------------------------------
+    def crash_coordinator(self) -> None:
+        """Kill the coordinator: no merges, no acks, until failover."""
+        self.coordinator.alive = False
+
+    def failover_coordinator(self) -> FederationCoordinator:
+        """Promote a standby coordinator with a bumped fencing epoch.
+
+        The standby resumes from the replicated per-(session, domain)
+        summary store — the coordinator's only durable state — and starts
+        at ``deposed.epoch + 1`` so shards reject anything the deposed
+        coordinator still has in flight.
+        """
+        old = self.coordinator
+        old.alive = False
+        standby = FederationCoordinator(bus=self.bus, epoch=old.epoch + 1)
+        standby.resume_from(old.replicated_summaries())
+        self._retired.append(old)
+        self.coordinator = standby
+        self.coordinator_failovers += 1
+        self.failover_rounds.append(self.rounds_completed + 1)
+        if self.bus is not None:
+            self.bus.emit(
+                "federation.failover", self.now,
+                old_epoch=old.epoch, new_epoch=standby.epoch,
+                resumed=standby.tracked(),
+                round=self.rounds_completed + 1,
+            )
+        return standby
+
+    def coordinator_totals(self) -> Dict[str, Any]:
+        """Counters aggregated across coordinator generations."""
+        coords = self._retired + [self.coordinator]
+        return {
+            "generations": len(coords),
+            "epoch": self.coordinator.epoch,
+            "alive": self.coordinator.alive,
+            "summaries_received": sum(c.summaries_received for c in coords),
+            "type_rejected": sum(c.type_rejected for c in coords),
+            "stale_rejected": sum(c.stale_rejected for c in coords),
+            "merges": sum(c.merges for c in coords),
+            "peak_tracked": max(c.peak_tracked for c in coords),
+            "state_bytes": self.coordinator.state_bytes(),
+        }
 
     # ------------------------------------------------------------------
     def control_bytes_by_tier(self) -> Dict[str, int]:
@@ -162,8 +350,9 @@ class FederatedSession:
         * ``intra_domain`` — receivers <-> their domain controller (scales
           with receivers);
         * ``summary`` — shards -> coordinator (scales with domains ×
-          sessions × rounds);
-        * ``advice`` — coordinator -> shards (ditto).
+          sessions × rounds, plus one ``SUMMARY_SIZE`` per retry);
+        * ``advice`` — coordinator -> shards (across coordinator
+          generations when a failover occurred).
         """
         intra = sum(
             self.shards[name].control_bytes_intra()
@@ -173,10 +362,13 @@ class FederatedSession:
             self.shards[name].summary_bytes_sent
             for name in sorted(self.shards)
         )
+        advice = sum(
+            c.control_bytes_sent for c in self._retired + [self.coordinator]
+        )
         return {
             "intra_domain": int(intra),
             "summary": int(summary),
-            "advice": int(self.coordinator.control_bytes_sent),
+            "advice": int(advice),
         }
 
     def control_bytes_total(self) -> int:

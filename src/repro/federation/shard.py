@@ -56,17 +56,45 @@ class DomainShard:
         seed: int = 0,
         config: Optional[Any] = None,
         interval: Optional[float] = None,
+        staleness_budget: int = 2,
+        decay_floor: int = 1,
     ):
         if view.gateway == BORDER_NODE or BORDER_NODE in view.nodes:
             raise ValueError(f"domain may not contain the reserved node "
                              f"{BORDER_NODE!r}")
+        if staleness_budget < 0:
+            raise ValueError("staleness_budget must be >= 0")
+        if decay_floor < 0:
+            raise ValueError("decay_floor must be >= 0")
         self.view = view
         self.domain = view.domain
         self.seed = shard_seed(seed, view.domain)
         self.advice: Dict[Any, FederationAdvice] = {}
         self.advice_received = 0
-        #: SubtreeSummary bytes this shard sent upward (federation tier).
+        #: SubtreeSummary bytes this shard sent upward (federation tier),
+        #: including retry attempts on a lossy channel.
         self.summary_bytes_sent = 0
+        #: Advice age (rounds) a session may run on before the ceiling
+        #: starts to decay; the bounded-staleness budget.
+        self.staleness_budget = int(staleness_budget)
+        #: Decay never pushes the effective ceiling below this level.
+        self.decay_floor = int(decay_floor)
+        #: Highest coordinator epoch whose advice this shard accepted.
+        self.advice_epoch = 0
+        #: Advice dropped by fencing (deposed-coordinator epoch, or an
+        #: older round duplicate at the current epoch).
+        self.stale_rejected = 0
+        #: Summary send attempts repeated after a lost/unacked attempt.
+        self.summary_retries = 0
+        #: Rounds where every attempt for a summary went unacknowledged.
+        self.summary_timeouts = 0
+        #: (round, session) entries where the staleness decay clamped the
+        #: controller below the last advised ceiling.
+        self.decayed_rounds = 0
+        #: Per-round staleness trace: one dict per (round, session) with
+        #: the advice age, epoch and effective ceiling (None = fresh, no
+        #: clamp).  The fedchaos overshoot/recovery gates read this.
+        self.ceiling_log: List[Dict[str, Any]] = []
         self.scenario = self._build(config, interval)
 
     # ------------------------------------------------------------------
@@ -125,7 +153,7 @@ class DomainShard:
             self.scenario.run(remaining)
 
     # ------------------------------------------------------------------
-    def summaries(self, now: float) -> List[SubtreeSummary]:
+    def summaries(self, now: float, round_no: int = 0) -> List[SubtreeSummary]:
         """One :class:`SubtreeSummary` per session, from controller state.
 
         Aggregates only: receiver identities, registrations and raw reports
@@ -165,6 +193,7 @@ class DomainShard:
                     bottleneck if bottleneck != float("inf") else 0.0
                 ),
                 issued_at=now,
+                round=round_no,
             ))
         self.summary_bytes_sent += SUMMARY_SIZE * len(out)
         return out
@@ -189,11 +218,12 @@ class DomainShard:
 
     # ------------------------------------------------------------------
     def apply_advice(self, advice: FederationAdvice) -> None:
-        """Record session-level advice from the coordinator.
+        """Record session-level advice from the coordinator (unfenced).
 
-        Advisory by design in this PR: the domain controller keeps full
-        authority inside its domain (the paper's domain isolation), and the
-        recorded ceiling is what a source-side layer pruner would consume.
+        The domain controller keeps full authority inside its domain (the
+        paper's domain isolation); the recorded ceiling only binds when the
+        bounded-staleness machinery (:meth:`roll_staleness`) decides the
+        advice has gone stale enough to clamp conservatively.
         """
         if not isinstance(advice, FederationAdvice):
             raise TypeError(
@@ -202,6 +232,89 @@ class DomainShard:
             )
         self.advice[advice.session_id] = advice
         self.advice_received += 1
+
+    def deliver_advice(
+        self, advice: FederationAdvice, now: float = 0.0,
+        bus: Optional[Any] = None,
+    ) -> bool:
+        """Fenced advice ingestion for an unreliable channel.
+
+        Rejects advice from a deposed coordinator (epoch below the highest
+        seen) and late/duplicate copies (round not newer than the applied
+        advice at the same epoch); both are counted in ``stale_rejected``.
+        Unsequenced legacy advice (epoch and round both 0) passes through
+        unfenced.  Returns True when the advice was applied.
+        """
+        if not isinstance(advice, FederationAdvice):
+            raise TypeError(
+                f"shards accept FederationAdvice only, got "
+                f"{type(advice).__name__}"
+            )
+        reason = None
+        if advice.epoch and advice.epoch < self.advice_epoch:
+            reason = "stale_epoch"
+        else:
+            prev = self.advice.get(advice.session_id)
+            if (
+                prev is not None and advice.round
+                and advice.epoch == prev.epoch and advice.round <= prev.round
+            ):
+                reason = "stale_round"
+        if reason is not None:
+            self.stale_rejected += 1
+            if bus is not None:
+                bus.emit(
+                    "federation.stale", now,
+                    tier="shard", reason=reason, domain=self.domain,
+                    session=advice.session_id, epoch=advice.epoch,
+                    round=advice.round, seen_epoch=self.advice_epoch,
+                )
+            return False
+        self.advice_epoch = max(self.advice_epoch, advice.epoch)
+        self.apply_advice(advice)
+        return True
+
+    # ------------------------------------------------------------------
+    def roll_staleness(
+        self, round_no: int, now: float, bus: Optional[Any] = None,
+    ) -> None:
+        """Per-round bounded-staleness bookkeeping, at the round barrier.
+
+        Advice *age* is how many rounds ago the applied advice was merged.
+        While ``age <= staleness_budget`` the domain runs unclamped on its
+        last-known advice.  Beyond the budget the shard turns conservative:
+        the controller's session ceiling is clamped to
+        ``max(decay_floor, ceiling - (age - budget))`` — one layer shed per
+        additional dark round — so a partitioned domain sheds load instead
+        of over-subscribing a shared bottleneck on stale information.
+        """
+        controller = self.controller
+        for sid in sorted(self.advice, key=str):
+            advice = self.advice[sid]
+            age = (round_no - advice.round) if advice.round else 0
+            effective = None
+            if age > self.staleness_budget:
+                decay = age - self.staleness_budget
+                effective = max(self.decay_floor, advice.ceiling - decay)
+                controller.session_ceilings[sid] = effective
+                self.decayed_rounds += 1
+                if bus is not None:
+                    bus.emit(
+                        "federation.stale", now,
+                        tier="shard", reason="decay", domain=self.domain,
+                        session=sid, age=age, budget=self.staleness_budget,
+                        ceiling=effective, advised=advice.ceiling,
+                    )
+            else:
+                controller.session_ceilings.pop(sid, None)
+            self.ceiling_log.append({
+                "round": round_no,
+                "session": str(sid),
+                "age": age,
+                "epoch": advice.epoch,
+                "advised_ceiling": advice.ceiling,
+                "effective_ceiling": effective,
+            })
 
     # ------------------------------------------------------------------
     def control_bytes_intra(self) -> int:

@@ -99,6 +99,20 @@ TOPIC_REGISTRY: Tuple[TopicSpec, ...] = (
     TopicSpec("federation.round", "federation/session.py",
               "one lockstep round completed (`round`, `domains`, "
               "`summaries`, `parallel`)"),
+    TopicSpec("federation.retry", "federation/session.py",
+              "summary send attempt repeated after an unacknowledged "
+              "attempt (`domain`, `session`, `attempt`, `backoff_s`)"),
+    TopicSpec("federation.timeout", "federation/session.py",
+              "summary exchange exhausted its retry budget this round "
+              "(`domain`, `session`, `attempts`)"),
+    TopicSpec("federation.failover", "federation/session.py",
+              "standby coordinator promoted with a bumped fencing epoch "
+              "(`old_epoch`, `new_epoch`, `resumed`, `round`)"),
+    TopicSpec("federation.stale", "federation/coordinator.py + shard.py",
+              "stale federation state handled (`tier`, `reason`: "
+              "coordinator `stale_round` drop, shard `stale_epoch`/"
+              "`stale_round` advice rejection, or shard `decay` ceiling "
+              "clamp past the staleness budget)"),
 )
 
 

@@ -120,6 +120,34 @@ class TestPartitioner:
         with pytest.raises(ValueError):
             DomainPartitioner({})
 
+    def test_unknown_nodes_in_explicit_assignment(self):
+        sc = build_multi_domain_topology()
+        with pytest.raises(KeyError, match="unknown nodes"):
+            DomainPartitioner({"no-such-node": "d1"}).partition(sc)
+
+    def test_multi_entry_error_names_the_domain(self):
+        sc = build_multi_domain_topology(n_domains=2, receivers_per_domain=2)
+        merged = {
+            node: "merged"
+            for node in DomainPartitioner.by_gateways(
+                sc, domain_gateways(2)
+            ).assignment
+        }
+        with pytest.raises(ValueError, match="'merged'"):
+            DomainPartitioner(merged).partition(sc)
+
+    def test_unreachable_domain_error_names_the_domain(self):
+        sc = build_multi_domain_topology()
+        sc.add_node("island")  # no links: no path from any source
+        with pytest.raises(ValueError, match="'dX' unreachable"):
+            DomainPartitioner({"island": "dX"}).partition(sc)
+
+    def test_by_gateways_needs_sessions(self):
+        sc = build_multi_domain_topology()
+        sc.sessions.clear()
+        with pytest.raises(ValueError, match="no sessions"):
+            DomainPartitioner.by_gateways(sc, domain_gateways(2))
+
 
 # ----------------------------------------------------------------------
 # Shards
