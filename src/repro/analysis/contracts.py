@@ -11,7 +11,11 @@ R004 — event-topic contracts
     (``tools/make_event_taxonomy.py``).  F-string emit sites contribute
     their literal head as a dynamic-family prefix (``f"guard.{kind}"`` →
     ``guard.``); emits whose topic is a bare variable are unverifiable and
-    skipped.
+    skipped.  The ``link.drop`` payload's ``reason`` field is additionally
+    held to the closed ``DROP_REASONS`` constant set in ``simnet/link.py``:
+    every ``_emit_drop`` call site must pass a member of that set (as a
+    literal or a ``DROP_*`` constant), so drop reasons cannot silently
+    fragment into free-form strings.
 
 R005 — control-message schema coverage
     The dataclass fields of the inbound messages in
@@ -67,6 +71,7 @@ class TopicContractRule(Rule):
     name = "topic-contract"
 
     BUS_PATH = "src/repro/obs/bus.py"
+    LINK_PATH = "src/repro/simnet/link.py"
     #: Packages whose emit sites are contract-checked.
     EMIT_PATHS = (
         "src/repro/simnet/",
@@ -76,6 +81,7 @@ class TopicContractRule(Rule):
         "src/repro/faults/",
         "src/repro/obs/",
         "src/repro/federation/",
+        "src/repro/workloads/",
     )
     SUBSCRIBE_PATHS = ("src/repro/",)
 
@@ -132,6 +138,62 @@ class TopicContractRule(Rule):
                 ))
 
         findings.extend(self._check_docs(project, specs, registry_line))
+        findings.extend(self._check_drop_reasons(project))
+        return findings
+
+    # -- drop reasons --------------------------------------------------
+    def _check_drop_reasons(self, project: Project) -> Iterable[Finding]:
+        """Every ``_emit_drop`` site passes a member of ``DROP_REASONS``."""
+        link_ctx = project.file(self.LINK_PATH)
+        if link_ctx is None:
+            return []
+        reasons_node = _assigned_value(link_ctx.tree, "DROP_REASONS")
+        if reasons_node is None:
+            return [Finding(
+                self.LINK_PATH, 1, self.code,
+                "DROP_REASONS not found — link drop reasons must form a "
+                "closed module-level constant set",
+            )]
+        const_map: Dict[str, str] = {}
+        for node in ast.walk(link_ctx.tree):
+            if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and isinstance(node.value, ast.Constant)
+                    and isinstance(node.value.value, str)):
+                const_map[node.targets[0].id] = node.value.value
+        reasons: Set[str] = set()
+        if isinstance(reasons_node, (ast.Tuple, ast.List)):
+            for elt in reasons_node.elts:
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                    reasons.add(elt.value)
+                elif isinstance(elt, ast.Name) and elt.id in const_map:
+                    reasons.add(const_map[elt.id])
+        reason_names = {n for n, v in const_map.items() if v in reasons}
+        findings: List[Finding] = []
+        for ctx in project.files:
+            if not any(ctx.rel_path.startswith(p) for p in self.EMIT_PATHS):
+                continue
+            for node in ast.walk(ctx.tree):
+                if not (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "_emit_drop"
+                        and len(node.args) >= 2):
+                    continue
+                arg = node.args[1]
+                if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                    if arg.value not in reasons:
+                        findings.append(Finding(
+                            ctx.rel_path, node.lineno, self.code,
+                            f"link drop reason {arg.value!r} is not in the "
+                            "closed DROP_REASONS set (simnet/link.py)",
+                        ))
+                elif (isinstance(arg, ast.Name) and arg.id.startswith("DROP_")
+                        and arg.id not in reason_names):
+                    findings.append(Finding(
+                        ctx.rel_path, node.lineno, self.code,
+                        f"link drop reason constant `{arg.id}` is not part "
+                        "of DROP_REASONS (simnet/link.py)",
+                    ))
         return findings
 
     # -- extraction ----------------------------------------------------

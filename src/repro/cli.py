@@ -8,6 +8,7 @@ Usage::
     python -m repro chaos --seed 1 [--plan faults.json] [--json]
     python -m repro byzantine --seed 1 [--attack-start 30] [--json]
     python -m repro churn --seed 1 [--backends spt,protected] [--json]
+    python -m repro crowd --seed 1 [--sizes 64,10000] [--loss 0,0.15] [--json]
     python -m repro federate --seed 1 [--domains 2,4,8] [--parallel] [--json]
     python -m repro fedchaos --seed 1 [--loss 0.05,0.2] [--windows 3,4] [--json]
     python -m repro bench [--quick] [--baseline BENCH_x.json]
@@ -195,6 +196,73 @@ def _cmd_churn(args) -> None:
         print(json.dumps(result, indent=2, default=str))
     else:
         print(render_churn_report(result))
+    if not result["ok"]:
+        sys.exit(1)
+
+
+def _cmd_crowd(args) -> None:
+    from .experiments.crowd import (
+        DEFAULT_DURATION,
+        render_crowd_report,
+        run_crowd,
+    )
+    from .workloads import WorkloadSpec
+
+    spec = None
+    if args.spec:
+        try:
+            with open(args.spec) as fh:
+                spec = WorkloadSpec.from_dict(json.load(fh))
+        except (OSError, ValueError, KeyError) as exc:
+            sys.exit(f"crowd: cannot load workload spec {args.spec!r}: {exc}")
+    sizes = [int(s) for s in args.sizes.split(",") if s]
+    loss_rates = [float(lo) for lo in args.loss.split(",") if lo]
+    recorder = _make_recorder(args, "crowd")
+    try:
+        result = run_crowd(
+            seed=args.seed,
+            duration=args.duration or DEFAULT_DURATION,
+            sizes=sizes,
+            loss_rates=loss_rates,
+            n_edges=args.edges,
+            n_sessions=args.sessions,
+            incumbents=args.incumbents,
+            max_controlled=args.max_controlled,
+            control_bound=args.control_bound,
+            federated_crowd=args.federated_crowd,
+            spec=spec,
+            recorder=recorder,
+        )
+    except ValueError as exc:
+        sys.exit(f"crowd: {exc}")
+    if args.save_spec:
+        from .experiments.crowd import (
+            build_crowd_scenario,
+            default_crowd_spec,
+            edge_node_names,
+        )
+
+        if spec is None:
+            _sc, session_ids = build_crowd_scenario(
+                seed=args.seed, n_edges=args.edges,
+                n_sessions=args.sessions, incumbents=args.incumbents,
+            )
+            size = min(sizes)
+            mode = "controlled" if size <= args.max_controlled else "static"
+            spec = default_crowd_spec(
+                size, edge_node_names(args.edges), session_ids,
+                duration=args.duration or DEFAULT_DURATION,
+                seed=args.seed, mode=mode,
+            )
+        with open(args.save_spec, "w") as fh:
+            json.dump(spec.to_dict(), fh, indent=2)
+        print(f"workload spec: {args.save_spec}", file=sys.stderr)
+    if recorder is not None:
+        print(f"run artifacts: {recorder.finalize(result)}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(result, indent=2, default=str))
+    else:
+        print(render_crowd_report(result))
     if not result["ok"]:
         sys.exit(1)
 
@@ -441,6 +509,46 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     churn.add_argument("--no-artifacts", action="store_true",
                        help="skip writing the run directory under runs/")
     churn.set_defaults(fn=_cmd_churn)
+
+    crowd = sub.add_parser(
+        "crowd",
+        help="sweep flash-crowd sizes x wireless loss rates through the "
+             "declarative workload engine and gate replay determinism, "
+             "loss attribution and control-plane scaling",
+    )
+    common(crowd)
+    crowd.add_argument("--sizes", type=str, default="64,10000",
+                       help="comma-separated flash-crowd sizes "
+                            "(default 64,10000)")
+    crowd.add_argument("--loss", type=str, default="0,0.15",
+                       help="comma-separated wireless channel loss rates "
+                            "(default 0,0.15)")
+    crowd.add_argument("--edges", type=int, default=8,
+                       help="wireless edge nodes (default 8)")
+    crowd.add_argument("--sessions", type=int, default=2,
+                       help="concurrent sessions for the Zipf demand "
+                            "(default 2)")
+    crowd.add_argument("--incumbents", type=int, default=4,
+                       help="always-on controlled receivers probing "
+                            "stability (default 4)")
+    crowd.add_argument("--max-controlled", type=int, default=512,
+                       help="largest crowd that joins fully controlled; "
+                            "bigger crowds join static (default 512)")
+    crowd.add_argument("--control-bound", type=float, default=512.0,
+                       help="declared control-byte bound, bytes/s per "
+                            "live receiver (default 512)")
+    crowd.add_argument("--federated-crowd", type=int, default=32,
+                       help="per-domain crowd on the federated plane "
+                            "(0 skips it; default 32)")
+    crowd.add_argument("--spec", type=str, default=None,
+                       help="JSON workload spec to replay (requires a "
+                            "single --sizes entry)")
+    crowd.add_argument("--save-spec", type=str, default=None,
+                       help="write the smallest sweep point's workload "
+                            "spec to this JSON file")
+    crowd.add_argument("--no-artifacts", action="store_true",
+                       help="skip writing the run directory under runs/")
+    crowd.set_defaults(fn=_cmd_crowd)
 
     fed = sub.add_parser(
         "federate",

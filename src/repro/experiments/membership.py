@@ -1,0 +1,140 @@
+"""Shared membership plumbing: seeded churn draws and join/leave mechanics.
+
+Two consumers drive receiver membership — the fault plan's
+:meth:`~repro.faults.plan.FaultPlan.membership_churn` (PR 6) and the
+declarative workload engine (:mod:`repro.workloads`).  Both must use
+*identical* semantics on both sides of the boundary:
+
+* **plan side** — :func:`churn_events` is the single implementation of the
+  seeded Poisson/Zipf churn draw.  Randomness is consumed here, at build
+  time; the output is a concrete ordered event list that round-trips
+  through JSON and replays bit-identically.
+* **scenario side** — :func:`leave_receiver` / :func:`join_receiver` are
+  the idempotent depart/arrive operations over
+  :meth:`~repro.experiments.scenario.Scenario.detach_receiver` /
+  :meth:`~repro.experiments.scenario.Scenario.reattach_receiver`, so a
+  workload join and a fault-plan ``receiver_join`` build agents on the
+  same deterministic RNG streams (``rcvagent/<id>/rejoin<n>``).
+
+Receivers without agents (``mode="static"``, or parked workload receivers
+before their first join) are judged present by subscription level instead
+of agent liveness.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Tuple
+
+__all__ = [
+    "zipf_weights",
+    "churn_events",
+    "leave_receiver",
+    "join_receiver",
+    "is_present",
+]
+
+#: (kind, time, receiver_id) rows emitted by :func:`churn_events`.
+ChurnEvent = Tuple[str, float, Any]
+
+
+def zipf_weights(n: int, s: float):
+    """Normalised Zipf(``s``) weights over ranks ``1..n`` (index order).
+
+    Rank ``k`` (0-based index) gets mass proportional to ``1/(k+1)**s`` —
+    the first few entries dominate, modelling popularity skew.
+    """
+    import numpy as np
+
+    if n < 1:
+        raise ValueError("need at least one rank for Zipf weights")
+    if s <= 0:
+        raise ValueError("zipf_s must be positive")
+    weights = np.array([1.0 / (k + 1) ** s for k in range(n)])
+    weights /= weights.sum()
+    return weights
+
+
+def churn_events(
+    receivers: Sequence[Any],
+    start: float,
+    end: float,
+    rate: float = 0.1,
+    burst: int = 1,
+    off_time: Tuple[float, float] = (4.0, 12.0),
+    zipf_s: float = 1.1,
+    seed: int = 0,
+) -> List[ChurnEvent]:
+    """Seeded join/leave waves over ``[start, end)`` as concrete events.
+
+    Leave waves arrive as a Poisson process of mean ``rate`` waves per
+    second; each wave picks ``burst`` receivers (Zipf(``zipf_s``)-biased
+    over ``receivers``'s order) to depart, each rejoining after a uniform
+    draw from ``off_time`` seconds.  Returns ``("leave"|"join", time,
+    receiver_id)`` rows in draw order (not time-sorted; callers sort).
+
+    The draw order is load-bearing: it must stay bit-identical to the
+    pre-refactor ``FaultPlan.membership_churn`` inline implementation (see
+    ``tests/test_churn.py::test_membership_churn_golden``).
+    """
+    import numpy as np
+
+    receivers = list(receivers)
+    if not receivers:
+        raise ValueError("need at least one receiver to churn")
+    if end <= start:
+        raise ValueError("need end > start")
+    if rate <= 0 or burst < 1:
+        raise ValueError("need rate > 0 and burst >= 1")
+    lo, hi = off_time
+    if not 0 < lo <= hi:
+        raise ValueError("off_time must be (lo, hi) with 0 < lo <= hi")
+    rng = np.random.default_rng(seed)
+    weights = zipf_weights(len(receivers), zipf_s)
+    events: List[ChurnEvent] = []
+    t = start + float(rng.exponential(1.0 / rate))
+    while t < end:
+        picks = rng.choice(len(receivers), size=min(burst, len(receivers)),
+                           replace=False, p=weights)
+        for idx in picks:
+            rid = receivers[int(idx)]
+            events.append(("leave", round(t, 6), rid))
+            back = t + float(rng.uniform(lo, hi))
+            if back < end:
+                events.append(("join", round(back, 6), rid))
+        t += float(rng.exponential(1.0 / rate))
+    return events
+
+
+# ----------------------------------------------------------------------
+# Scenario-side mechanics (shared by MembershipFault and WorkloadRunner)
+# ----------------------------------------------------------------------
+def is_present(handle: Any) -> bool:
+    """Whether the receiver is currently a member.
+
+    Agent liveness wins when an agent exists (controlled/rlm after run);
+    otherwise the subscription level decides (static receivers, and parked
+    workload receivers that have never joined).
+    """
+    if handle.agent is not None:
+        return bool(getattr(handle.agent, "active", handle.receiver.level > 0))
+    return handle.receiver.level > 0
+
+
+def leave_receiver(scenario: Any, handle: Any) -> bool:
+    """Idempotent departure; returns True when a departure actually fired."""
+    if handle.agent is not None and not getattr(handle.agent, "active", True):
+        return False  # already departed
+    if handle.agent is None and handle.receiver.level == 0:
+        return False  # parked/static receiver already absent
+    scenario.detach_receiver(handle)
+    return True
+
+
+def join_receiver(scenario: Any, handle: Any) -> bool:
+    """Idempotent (re)arrival; returns True when an arrival actually fired."""
+    if handle.agent is not None and getattr(handle.agent, "active", False):
+        return False  # already present
+    if handle.agent is None and handle.mode == "static" and handle.receiver.level > 0:
+        return False  # static receiver already subscribed
+    scenario.reattach_receiver(handle)
+    return True

@@ -61,6 +61,9 @@ class ReceiverHandle:
     agent: Any = None  # ReceiverAgent or RLMReceiver, set at run()
     controller_name: str = "default"
     agent_kwargs: Optional[Dict[str, Any]] = None  # extra ReceiverAgent args
+    #: Workload receivers start parked: subscribed to nothing, no agent
+    #: auto-started at run() — they only come alive via reattach_receiver.
+    parked: bool = False
 
     @property
     def trace(self) -> StepTrace:
@@ -94,6 +97,7 @@ class Scenario:
         self.sources: Dict[Any, LayeredSource] = {}
         self.plans: Dict[Any, SessionPlan] = {}
         self.receivers: List[ReceiverHandle] = []
+        self._handles_by_id: Dict[Any, ReceiverHandle] = {}
         self.controllers: Dict[str, ControllerAgent] = {}
         self.discoveries: Dict[str, TopologyDiscovery] = {}
         self._controller_nodes: Dict[str, Any] = {}
@@ -187,6 +191,7 @@ class Scenario:
         mode: str = "controlled",
         controller: str = "default",
         agent_kwargs: Optional[Dict[str, Any]] = None,
+        parked: bool = False,
     ) -> ReceiverHandle:
         """Place a receiver for ``session_id`` at ``node``.
 
@@ -195,9 +200,15 @@ class Scenario:
         scenarios attach one controller per domain).  ``agent_kwargs`` are
         forwarded to the :class:`ReceiverAgent` constructed at :meth:`run`
         (e.g. ``reregister_after`` for chaos scenarios).
+
+        ``parked`` receivers (the workload engine's pre-created population)
+        join nothing and get no agent at :meth:`run`; they first come alive
+        through :meth:`reattach_receiver`.  Park with ``initial_level=0``.
         """
         if mode not in ("controlled", "rlm", "static"):
             raise ValueError(f"unknown receiver mode {mode!r}")
+        if parked and initial_level != 0:
+            raise ValueError("parked receivers must start at initial_level=0")
         descriptor = self.sessions[session_id]
         if receiver_id is None:
             receiver_id = f"r{self._receiver_counter}"
@@ -214,10 +225,19 @@ class Scenario:
         handle = ReceiverHandle(
             receiver_id, session_id, node, receiver, mode,
             controller_name=controller, agent_kwargs=agent_kwargs,
+            parked=parked,
         )
         self.receivers.append(handle)
+        self._handles_by_id.setdefault(receiver_id, handle)
         self.plans[session_id].add_receiver(receiver_id, node)
         return handle
+
+    def receiver_handle(self, receiver_id: Any) -> ReceiverHandle:
+        """O(1) lookup of a receiver handle by id (first match wins)."""
+        try:
+            return self._handles_by_id[receiver_id]
+        except KeyError:
+            raise KeyError(f"unknown receiver {receiver_id!r}") from None
 
     def attach_controller(
         self,
@@ -356,7 +376,7 @@ class Scenario:
             self.network.build_routes()
             self._routes_built = True
         for handle in self.receivers:
-            if handle.agent is not None or handle.mode == "static":
+            if handle.agent is not None or handle.mode == "static" or handle.parked:
                 continue
             if handle.mode == "controlled":
                 controller = self.controllers.get(handle.controller_name)
@@ -409,6 +429,7 @@ class Scenario:
         a new deterministic RNG stream keyed by the rejoin count, so churn
         runs replay bit-for-bit.
         """
+        handle.parked = False
         if handle.receiver.level == 0:
             handle.receiver.set_level(1)
         n = self._rejoin_counts.get(handle.receiver_id, 0) + 1

@@ -234,30 +234,29 @@ class MembershipFault:
     deterministic RNG stream.  Both are idempotent — a leave for an already
     departed receiver (or a join for a present one) is a no-op, so seeded
     churn plans need not track membership state.
+
+    The mechanics are shared with the workload engine (see
+    :mod:`repro.experiments.membership`), so fault-plan churn and workload
+    crowds have identical reattach/RNG-stream semantics.
     """
 
     def __init__(self, scenario):
         self.scenario = scenario
 
     def _handle(self, receiver_id: Any):
-        for handle in self.scenario.receivers:
-            if handle.receiver_id == receiver_id:
-                return handle
-        raise KeyError(f"unknown receiver {receiver_id!r}")
+        return self.scenario.receiver_handle(receiver_id)
 
     def leave(self, receiver_id: Any) -> None:
         """Depart: stop the agent, unsubscribe from every layer group."""
-        handle = self._handle(receiver_id)
-        if handle.agent is not None and not getattr(handle.agent, "active", True):
-            return  # already departed
-        self.scenario.detach_receiver(handle)
+        from ..experiments.membership import leave_receiver
+
+        leave_receiver(self.scenario, self._handle(receiver_id))
 
     def join(self, receiver_id: Any) -> None:
         """(Re)arrive with a fresh control agent at the same node."""
-        handle = self._handle(receiver_id)
-        if handle.agent is not None and getattr(handle.agent, "active", False):
-            return  # already present
-        self.scenario.reattach_receiver(handle)
+        from ..experiments.membership import join_receiver
+
+        join_receiver(self.scenario, self._handle(receiver_id))
 
 
 class PacketCorruptionFault:

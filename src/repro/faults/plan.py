@@ -192,35 +192,22 @@ class FaultPlan:
         ``default_rng(seed)``: the emitted plan is a concrete, ordered list
         of ``receiver_leave``/``receiver_join`` events that round-trips
         through JSON and replays identically, like every other fault kind.
-        """
-        import numpy as np
 
-        receivers = list(receivers)
-        if not receivers:
-            raise ValueError("need at least one receiver to churn")
-        if end <= start:
-            raise ValueError("need end > start")
-        if rate <= 0 or burst < 1:
-            raise ValueError("need rate > 0 and burst >= 1")
-        lo, hi = off_time
-        if not 0 < lo <= hi:
-            raise ValueError("off_time must be (lo, hi) with 0 < lo <= hi")
-        if zipf_s <= 0:
-            raise ValueError("zipf_s must be positive")
-        rng = np.random.default_rng(seed)
-        weights = np.array([1.0 / (k + 1) ** zipf_s for k in range(len(receivers))])
-        weights /= weights.sum()
-        t = start + float(rng.exponential(1.0 / rate))
-        while t < end:
-            picks = rng.choice(len(receivers), size=min(burst, len(receivers)),
-                               replace=False, p=weights)
-            for idx in picks:
-                rid = receivers[int(idx)]
-                self.leave_receiver(round(t, 6), rid)
-                back = t + float(rng.uniform(lo, hi))
-                if back < end:
-                    self.join_receiver(round(back, 6), rid)
-            t += float(rng.exponential(1.0 / rate))
+        The draw itself lives in :func:`repro.experiments.membership.
+        churn_events`, shared with the workload engine so both paths use
+        identical RNG semantics.
+        """
+        # Local import: repro.experiments pulls in the whole scenario stack.
+        from ..experiments.membership import churn_events
+
+        for kind, t, rid in churn_events(
+            receivers, start, end, rate=rate, burst=burst,
+            off_time=off_time, zipf_s=zipf_s, seed=seed,
+        ):
+            if kind == "leave":
+                self.leave_receiver(t, rid)
+            else:
+                self.join_receiver(t, rid)
         return self
 
     # -- adversaries ----------------------------------------------------

@@ -114,6 +114,11 @@ class LayeredReceiver:
         self.loss_series = SeriesTrace()
         self._interval_start = self.sched.now
         self.total_bytes = 0
+        #: Optional probe ``callable(sim_time)`` fired on the first packet
+        #: after a 0 -> up subscription (workload join-to-first-packet
+        #: latency).  Armed in :meth:`set_level`, disarmed after one shot.
+        self.on_first_packet = None
+        self._awaiting_first = False
         if initial_level:
             self.set_level(initial_level)
 
@@ -135,6 +140,10 @@ class LayeredReceiver:
                 self._leave_layer(idx)
         self.level = level
         self.trace.record(self.sched.now, level)
+        if previous == 0 and self.on_first_packet is not None:
+            self._awaiting_first = True
+        elif level == 0:
+            self._awaiting_first = False
         bus = self.sched.bus
         if bus is not None:
             bus.emit(
@@ -188,6 +197,9 @@ class LayeredReceiver:
     # Data path
     # ------------------------------------------------------------------
     def _on_packet(self, pkt: Packet, lr: _LayerRx) -> None:
+        if self._awaiting_first:
+            self._awaiting_first = False
+            self.on_first_packet(self.sched.now)
         if lr.expected is None:
             lr.expected = pkt.seq + 1
         elif pkt.seq >= lr.expected:

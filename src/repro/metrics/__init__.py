@@ -2,6 +2,7 @@
 stability pair, supporting fairness indices, and fault-recovery measures."""
 
 from .ascii_plot import render_histogram, render_level_timeline, render_series
+from .attribution import loss_attribution
 from .deviation import mean_relative_deviation, relative_deviation
 from .fairness import bandwidth_shares, jain_index
 from .guard import (
@@ -36,4 +37,5 @@ __all__ = [
     "quarantine_precision_recall",
     "mean_level_divergence",
     "max_level_divergence",
+    "loss_attribution",
 ]

@@ -1,0 +1,45 @@
+"""Congestive vs wireless loss attribution.
+
+The paper's stage-1/2 inference treats *every* packet loss as a congestion
+signal.  On wired topologies that is exact: the only drop sources are
+queues (and outages).  Once wireless edges enter
+(:class:`~repro.simnet.wireless.WirelessEdgeLink`), channel losses reach
+the controller through the very same receiver loss reports, and the
+control plane cannot tell them apart — it *misattributes* them to
+congestion and throttles layers that the network could have carried
+(Sethu & Gerety's non-congestive-loss critique).
+
+The simulator knows the ground truth, because wireless drops are counted
+separately from queue drops.  :func:`loss_attribution` surfaces it:
+``misattribution_rate`` is the fraction of all link-level losses that were
+actually channel noise — i.e. the fraction of the loss signal feeding the
+congestion inference that is a lie.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+__all__ = ["loss_attribution"]
+
+
+def loss_attribution(network: Any) -> Dict[str, float]:
+    """Ground-truth drop accounting over every link in ``network``.
+
+    Returns ``congestive_drops`` (queue tail-drops plus outage flushes,
+    i.e. everything in ``queue.stats``), ``wireless_drops`` (channel
+    losses on :class:`~repro.simnet.wireless.WirelessEdgeLink` edges) and
+    ``misattribution_rate`` — wireless over total, 0.0 when nothing was
+    dropped.
+    """
+    congestive = 0
+    wireless = 0
+    for link in network.links.values():
+        congestive += link.queue.stats.dropped
+        wireless += getattr(link, "wireless_drops", 0)
+    total = congestive + wireless
+    return {
+        "congestive_drops": float(congestive),
+        "wireless_drops": float(wireless),
+        "misattribution_rate": wireless / total if total else 0.0,
+    }

@@ -72,6 +72,11 @@ class GroupState:
         self.source = source
         self.members: Set[Any] = set()
         self.desired: Dict[Any, bool] = {}
+        #: member -> number of co-located receivers subscribed through it.
+        #: Multicast state is per *node*: the tree grafts on the 0->1 join
+        #: and prunes on the 1->0 leave, so crowds sharing an edge node
+        #: cannot tear each other's branches down.
+        self.refcount: Dict[Any, int] = {}
         #: Administrative deny-list: effective membership is
         #: ``desired and not blocked`` (receiver-quarantine enforcement).
         self.blocked: Set[Any] = set()
@@ -193,6 +198,12 @@ class MulticastManager:
         state = self._state(group)
         if member not in self.network.nodes:
             raise KeyError(f"unknown member node {member!r}")
+        count = state.refcount.get(member, 0) + 1
+        state.refcount[member] = count
+        if count > 1 and member in state.members:
+            # A co-located receiver already gets the group on this LAN:
+            # only the local report latency applies, no graft needed.
+            return self.sched.now + self.igmp_report_delay
         state.desired[member] = True
         delay = self._graft_delay(state, member)
         effective = self.sched.now + delay
@@ -209,6 +220,12 @@ class MulticastManager:
         needs to propagate to the nearest branch point.
         """
         state = self._state(group)
+        count = max(0, state.refcount.get(member, 0) - 1)
+        state.refcount[member] = count
+        if count > 0:
+            # Other co-located receivers still subscribe through this node:
+            # the router keeps serving the group, nothing to prune.
+            return self.sched.now
         state.desired[member] = False
         if self.expedited_leave:
             delay = self._prune_delay(state, member)

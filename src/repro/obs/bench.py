@@ -60,11 +60,28 @@ def _chaos() -> Any:
     return sc
 
 
+def _crowd_flash() -> Any:
+    from ..experiments.crowd import (
+        build_crowd_scenario,
+        default_crowd_spec,
+        edge_node_names,
+    )
+    from ..workloads import WorkloadRunner
+
+    sc, session_ids = build_crowd_scenario(seed=1, n_edges=8, wireless_loss=0.1)
+    spec = default_crowd_spec(
+        256, edge_node_names(8), session_ids, duration=120.0, seed=1
+    )
+    WorkloadRunner(sc, spec).install()
+    return sc
+
+
 #: (name, scenario builder, full duration s, quick duration s)
 BENCH_SUITE: Tuple[Tuple[str, Callable[[], Any], float, float], ...] = (
     ("topo_a_cbr_8rx", _topo_a, 120.0, 30.0),
     ("topo_b_vbr_4sess", _topo_b, 120.0, 30.0),
     ("chaos_storm", _chaos, 120.0, 45.0),
+    ("crowd_flash_256rx", _crowd_flash, 120.0, 30.0),
 )
 
 
@@ -148,6 +165,22 @@ def run_bench(quick: bool = False, duration_override: Optional[float] = None) ->
             "control_bytes_per_receiver": round(_control_bytes(sc) / n_receivers, 1),
             "queue_drops": sc.network.total_drops(),
             "stage_ms": stage_ms,
+        }
+        # Workload-driven scenarios (a WorkloadRunner tagged the scenario)
+        # also report crowd scale and join latency; static suites report
+        # their fixed receiver count and zeroed latency percentiles so the
+        # record shape stays uniform across the suite.
+        workload = getattr(sc, "workload", None)
+        from ..workloads import latency_percentiles
+
+        j2fp = latency_percentiles(
+            workload.join_latency_ms if workload is not None else []
+        )
+        scenarios[name]["n_live_receivers"] = (
+            workload.peak_live if workload is not None else len(sc.receivers)
+        )
+        scenarios[name]["join_first_packet_ms"] = {
+            "p50": round(j2fp["p50"], 3), "p99": round(j2fp["p99"], 3),
         }
         total_events += events
         total_wall += wall

@@ -51,7 +51,8 @@ TOPIC_REGISTRY: Tuple[TopicSpec, ...] = (
     TopicSpec("sched.dispatch", "simnet/engine.py",
               "`seq`, `fn` — one per scheduler event (firehose; off by default)"),
     TopicSpec("link.drop", "simnet/link.py",
-              "`link`, `reason` (`queue_full` \\| `link_down`), `kind`, `size`"),
+              "`link`, `reason` (`queue_full` \\| `link_down` \\| `wireless`; "
+              "the closed `DROP_REASONS` set), `kind`, `size`"),
     TopicSpec("link.down", "simnet/link.py", "`link`, `flushed`"),
     TopicSpec("link.up", "simnet/link.py", "`link`, `utilization`"),
     TopicSpec("link.sample", "run recorder",
@@ -113,6 +114,15 @@ TOPIC_REGISTRY: Tuple[TopicSpec, ...] = (
               "coordinator `stale_round` drop, shard `stale_epoch`/"
               "`stale_round` advice rejection, or shard `decay` ceiling "
               "clamp past the staleness budget)"),
+    TopicSpec("workload.join", "workloads/runner.py",
+              "a workload receiver came alive (`receiver`, `session`, "
+              "`n_live`)"),
+    TopicSpec("workload.leave", "workloads/runner.py",
+              "a workload receiver departed (`receiver`, `session`, "
+              "`n_live`)"),
+    TopicSpec("workload.sample", "workloads/runner.py",
+              "periodic crowd sample (`n_live`, `control_bytes`, `joins`, "
+              "`leaves`)"),
 )
 
 

@@ -25,7 +25,22 @@ if TYPE_CHECKING:  # pragma: no cover
     from .engine import Scheduler
     from .node import Node
 
-__all__ = ["Link", "LinkStats"]
+__all__ = [
+    "Link",
+    "LinkStats",
+    "DROP_LINK_DOWN",
+    "DROP_QUEUE_FULL",
+    "DROP_WIRELESS",
+    "DROP_REASONS",
+]
+
+#: Closed set of ``link.drop`` reasons.  Every ``_emit_drop`` call site must
+#: pass one of these (enforced by lint rule R004); free-form reason strings
+#: would silently fragment downstream loss attribution.
+DROP_LINK_DOWN = "link_down"
+DROP_QUEUE_FULL = "queue_full"
+DROP_WIRELESS = "wireless"
+DROP_REASONS = (DROP_LINK_DOWN, DROP_QUEUE_FULL, DROP_WIRELESS)
 
 
 class LinkStats:
@@ -96,12 +111,12 @@ class Link:
         if not self.up:
             self.queue.stats.dropped += 1
             self.queue.stats.bytes_dropped += pkt.size
-            self._emit_drop(pkt, "link_down")
+            self._emit_drop(pkt, DROP_LINK_DOWN)
             return False
         if self.busy:
             accepted = self.queue.push(pkt)
             if not accepted:
-                self._emit_drop(pkt, "queue_full")
+                self._emit_drop(pkt, DROP_QUEUE_FULL)
             return accepted
         self._start_transmit(pkt)
         return True

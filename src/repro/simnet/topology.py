@@ -60,12 +60,17 @@ class Network:
         queue_limit: int = 64,
         bidirectional: bool = True,
         queue_factory=None,
+        link_factory=None,
     ) -> Link:
         """Create a link ``a -> b`` (and ``b -> a`` when ``bidirectional``).
 
         ``queue_factory`` is an optional zero-argument callable producing a
         queue discipline instance per direction; the default is a drop-tail
         queue of ``queue_limit`` packets.
+
+        ``link_factory`` swaps the link implementation per direction: a
+        callable ``(sched, src, dst, bandwidth, delay, queue) -> Link``
+        (e.g. a :class:`~repro.simnet.wireless.WirelessEdgeLink` builder).
 
         Returns the ``a -> b`` direction's :class:`Link`.
         """
@@ -79,12 +84,13 @@ class Network:
                 return queue_factory()
             return DropTailQueue(queue_limit)
 
-        fwd = Link(self.sched, self.nodes[a], self.nodes[b], bandwidth, delay, make_queue())
+        make_link = Link if link_factory is None else link_factory
+        fwd = make_link(self.sched, self.nodes[a], self.nodes[b], bandwidth, delay, make_queue())
         self.links[(a, b)] = fwd
         self.nodes[a].links[b] = fwd
         self.graph.add_edge(a, b, delay=delay, bandwidth=bandwidth)
         if bidirectional:
-            rev = Link(self.sched, self.nodes[b], self.nodes[a], bandwidth, delay, make_queue())
+            rev = make_link(self.sched, self.nodes[b], self.nodes[a], bandwidth, delay, make_queue())
             self.links[(b, a)] = rev
             self.nodes[b].links[a] = rev
             self.graph.add_edge(b, a, delay=delay, bandwidth=bandwidth)

@@ -1,0 +1,139 @@
+"""Wireless edge links: seeded non-uniform path loss with burst fading.
+
+The paper's stage-1/2 inference treats loss as a congestion signal.  A
+:class:`WirelessEdgeLink` breaks that assumption the way wireless access
+networks do (Sethu & Gerety): packets that were successfully serialized are
+lost on the air with a probability that depends on a two-state
+Gilbert–Elliott channel —
+
+* **good** state: independent losses at ``loss_rate`` (non-uniform per
+  link: the builder draws each edge's rate from a seeded RNG);
+* **bad** (fading) state: losses at ``burst_loss`` (default 0.9), entered
+  with probability ``fade_in`` and left with probability ``fade_out`` per
+  transmitted packet, producing the bursty loss signature of deep fades.
+
+Wireless drops are accounted *separately* from queue drops
+(:attr:`wireless_drops` / :attr:`wireless_bytes_dropped`, and the
+``link.drop`` bus event carries ``reason="wireless"``): congestive loss
+lives in ``queue.stats`` exactly as before, which is what lets experiments
+measure how often the control plane misattributes channel loss to
+congestion (see :func:`repro.metrics.attribution.loss_attribution`).
+
+Everything else — serialization, propagation, queueing, up/down faults —
+is inherited unchanged from :class:`~repro.simnet.link.Link`, so wireless
+edges compose with every existing injector and metric.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from .link import DROP_WIRELESS, Link
+from .packet import Packet
+from .queues import DropTailQueue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Scheduler
+    from .node import Node
+
+__all__ = ["WirelessEdgeLink"]
+
+
+class WirelessEdgeLink(Link):
+    """A :class:`Link` whose delivered packets face a fading radio channel.
+
+    Parameters
+    ----------
+    loss_rate:
+        Good-state per-packet loss probability in ``[0, 1)``.
+    burst_loss:
+        Bad-state (fading) per-packet loss probability in ``[0, 1]``.
+    fade_in, fade_out:
+        Per-packet Gilbert–Elliott transition probabilities: good→bad and
+        bad→good.  ``fade_out`` must be positive so fades always end.
+    rng:
+        Seeded generator (``numpy.random.Generator``); required whenever
+        any loss or fading probability is non-zero, so channel draws come
+        from a named :class:`~repro.simnet.rng.RngRegistry` stream.
+    """
+
+    __slots__ = (
+        "loss_rate", "burst_loss", "fade_in", "fade_out", "fading",
+        "rng", "wireless_drops", "wireless_bytes_dropped",
+    )
+
+    def __init__(
+        self,
+        sched: "Scheduler",
+        src: "Node",
+        dst: "Node",
+        bandwidth: float,
+        delay: float,
+        queue: Optional[DropTailQueue] = None,
+        *,
+        loss_rate: float = 0.0,
+        burst_loss: float = 0.9,
+        fade_in: float = 0.0,
+        fade_out: float = 0.25,
+        rng=None,
+    ):
+        super().__init__(sched, src, dst, bandwidth, delay, queue)
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        if not 0.0 <= burst_loss <= 1.0:
+            raise ValueError(f"burst_loss must be in [0, 1], got {burst_loss}")
+        if not 0.0 <= fade_in <= 1.0:
+            raise ValueError(f"fade_in must be in [0, 1], got {fade_in}")
+        if not 0.0 < fade_out <= 1.0:
+            raise ValueError(f"fade_out must be in (0, 1], got {fade_out}")
+        if rng is None and (loss_rate > 0 or fade_in > 0):
+            raise ValueError("a lossy wireless link needs a seeded rng")
+        self.loss_rate = float(loss_rate)
+        self.burst_loss = float(burst_loss)
+        self.fade_in = float(fade_in)
+        self.fade_out = float(fade_out)
+        self.fading = False
+        self.rng = rng
+        self.wireless_drops = 0
+        self.wireless_bytes_dropped = 0
+
+    # ------------------------------------------------------------------
+    def _channel_lost(self) -> bool:
+        """Advance the Gilbert–Elliott channel one packet; True = lost."""
+        rng = self.rng
+        if self.fading:
+            if rng.random() < self.fade_out:
+                self.fading = False
+        elif self.fade_in > 0.0 and rng.random() < self.fade_in:
+            self.fading = True
+        p = self.burst_loss if self.fading else self.loss_rate
+        if p <= 0.0:
+            return False
+        return bool(rng.random() < p)
+
+    def _tx_done(self, pkt: Packet) -> None:
+        stats = self.stats
+        stats.tx_packets += 1
+        stats.tx_bytes += pkt.size
+        stats.last_tx_end = self.sched.now
+        # The channel claims the packet after serialization: the transmitter
+        # paid the airtime either way, so utilization and the queue are
+        # charged exactly as on a wired link.
+        if self.rng is not None and self._channel_lost():
+            self.wireless_drops += 1
+            self.wireless_bytes_dropped += pkt.size
+            self._emit_drop(pkt, DROP_WIRELESS)
+        else:
+            self.sched.after(self.delay, self.dst.receive, pkt, self)
+        nxt = self.queue.pop()
+        if nxt is not None:
+            self._start_transmit(nxt)
+        else:
+            self.busy = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fading" if self.fading else "good"
+        return (
+            f"<WirelessEdgeLink {self.src.name}->{self.dst.name} "
+            f"{self.bandwidth / 1e3:.0f}Kbps p={self.loss_rate:.3f} {state}>"
+        )

@@ -1,0 +1,202 @@
+"""Compile a :class:`~repro.workloads.spec.WorkloadSpec` onto a scenario.
+
+:meth:`WorkloadRunner.install` parks the spec's population on the scenario
+(receivers exist but subscribe to nothing and get no agent at ``run()``)
+and schedules every spec event on the scenario's discrete-event scheduler.
+Joins and leaves go through the same idempotent mechanics as fault-plan
+churn (:mod:`repro.experiments.membership`), so a workload join builds its
+agent on the identical deterministic RNG stream a ``receiver_join`` fault
+would.
+
+While the scenario runs, the runner measures what the workload stresses:
+
+* live-membership accounting (``n_live``, ``peak_live``);
+* join-to-first-packet latency samples (armed per join via
+  ``LayeredReceiver.on_first_packet``);
+* periodic ``workload.sample`` rows pairing the live-receiver count with
+  cumulative control-plane bytes — the control-bytes-per-receiver-vs-crowd
+  curve the scalability gates check.
+
+Bus topics emitted here (``workload.join`` / ``workload.leave`` /
+``workload.sample``) are registered in
+:data:`repro.obs.bus.TOPIC_REGISTRY`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from .spec import WorkloadSpec
+
+__all__ = ["WorkloadRunner", "control_bytes", "latency_percentiles"]
+
+
+def control_bytes(scenario: Any) -> float:
+    """Control-plane bytes sent so far by the scenario's controllers and
+    receiver agents (the senders a workload's crowd multiplies)."""
+    total = float(sum(
+        c.control_bytes_sent for c in scenario.controllers.values()
+    ))
+    for h in scenario.receivers:
+        if h.agent is not None:
+            total += getattr(h.agent, "control_bytes_sent", 0)
+    return total
+
+
+def latency_percentiles(samples_ms: List[float]) -> Dict[str, float]:
+    """``{"p50": ..., "p99": ..., "n": ...}`` over latency samples (ms)."""
+    if not samples_ms:
+        return {"p50": 0.0, "p99": 0.0, "n": 0}
+    import numpy as np
+
+    arr = np.asarray(samples_ms, dtype=float)
+    return {
+        "p50": float(np.percentile(arr, 50)),
+        "p99": float(np.percentile(arr, 99)),
+        "n": len(samples_ms),
+    }
+
+
+class WorkloadRunner:
+    """Binds one spec to one scenario and tracks workload metrics."""
+
+    def __init__(
+        self,
+        scenario: Any,
+        spec: WorkloadSpec,
+        sample_interval: float = 5.0,
+    ):
+        if sample_interval <= 0:
+            raise ValueError("sample_interval must be positive")
+        self.scenario = scenario
+        self.spec = spec
+        self.sample_interval = sample_interval
+        self.n_live = 0
+        self.peak_live = 0
+        self.joins_fired = 0
+        self.leaves_fired = 0
+        #: Join-to-first-packet latency samples, milliseconds.
+        self.join_latency_ms: List[float] = []
+        #: Periodic rows: {"t", "n_live", "control_bytes"}.
+        self.samples: List[Dict[str, float]] = []
+        self._pending_join: Dict[Any, float] = {}
+        self._installed = False
+
+    # ------------------------------------------------------------------
+    def install(self) -> "WorkloadRunner":
+        """Park the population and schedule every event; idempotent-guarded.
+
+        Call after the scenario's sessions exist and before ``run()``.
+        """
+        if self._installed:
+            raise RuntimeError("workload already installed")
+        self._installed = True
+        sc = self.scenario
+        for rs in self.spec.population:
+            handle = sc.add_receiver(
+                rs.session_id, rs.node, receiver_id=rs.receiver_id,
+                initial_level=0, mode=rs.mode, controller=rs.controller,
+                parked=True,
+            )
+            handle.receiver.on_first_packet = self._first_packet_probe(
+                rs.receiver_id
+            )
+        for ev in self.spec.events:
+            sc.sched.at(ev.time, self._fire, ev.kind, ev.receiver_id)
+        sc.sched.every(self.sample_interval, self._sample)
+        # Tag the scenario so downstream consumers (bench records, crowd
+        # experiment reports) can find the active workload.
+        sc.workload = self
+        return self
+
+    def _first_packet_probe(self, receiver_id: Any):
+        def probe(now: float) -> None:
+            joined = self._pending_join.pop(receiver_id, None)
+            if joined is not None:
+                self.join_latency_ms.append((now - joined) * 1000.0)
+
+        return probe
+
+    # ------------------------------------------------------------------
+    def _fire(self, kind: str, receiver_id: Any) -> None:
+        from ..experiments.membership import join_receiver, leave_receiver
+
+        sc = self.scenario
+        handle = sc.receiver_handle(receiver_id)
+        if kind == "join":
+            if not join_receiver(sc, handle):
+                return
+            self.joins_fired += 1
+            self.n_live += 1
+            if self.n_live > self.peak_live:
+                self.peak_live = self.n_live
+            self._pending_join[receiver_id] = sc.sched.now
+        else:
+            if not leave_receiver(sc, handle):
+                return
+            self.leaves_fired += 1
+            self.n_live = max(0, self.n_live - 1)
+            self._pending_join.pop(receiver_id, None)
+        bus = sc.sched.bus
+        if bus is not None:
+            bus.emit(
+                f"workload.{kind}", sc.sched.now,
+                receiver=receiver_id, session=handle.session_id,
+                n_live=self.n_live,
+            )
+
+    def _sample(self) -> None:
+        sc = self.scenario
+        row = {
+            "t": sc.sched.now,
+            "n_live": float(self.n_live),
+            "control_bytes": control_bytes(sc),
+        }
+        self.samples.append(row)
+        bus = sc.sched.bus
+        if bus is not None:
+            bus.emit(
+                "workload.sample", sc.sched.now,
+                n_live=self.n_live, control_bytes=row["control_bytes"],
+                joins=self.joins_fired, leaves=self.leaves_fired,
+            )
+
+    # ------------------------------------------------------------------
+    def control_bytes_per_live(self) -> List[Dict[str, float]]:
+        """Per-sample-window control-byte rate normalised by live receivers.
+
+        Rows: ``{"t", "n_live", "bytes_per_live_s"}`` — bytes sent in the
+        window divided by window length and the live count at its end (the
+        curve that must stay within the declared bound as a crowd ramps).
+        """
+        rows: List[Dict[str, float]] = []
+        prev: Optional[Dict[str, float]] = None
+        for row in self.samples:
+            if prev is not None:
+                dt = row["t"] - prev["t"]
+                live = max(1.0, row["n_live"])
+                if dt > 0:
+                    rows.append({
+                        "t": row["t"],
+                        "n_live": row["n_live"],
+                        "bytes_per_live_s":
+                            (row["control_bytes"] - prev["control_bytes"])
+                            / dt / live,
+                    })
+            prev = row
+        return rows
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-friendly digest of everything the runner measured."""
+        return {
+            "population": len(self.spec.population),
+            "events": len(self.spec.events),
+            "joins_fired": self.joins_fired,
+            "leaves_fired": self.leaves_fired,
+            "n_live": self.n_live,
+            "peak_live": self.peak_live,
+            "join_to_first_packet_ms": latency_percentiles(
+                self.join_latency_ms
+            ),
+            "samples": [dict(r) for r in self.samples],
+        }

@@ -112,7 +112,7 @@ class TestTopicRegistry:
         # everything except the sched.dispatch firehose, one family each
         assert DEFAULT_TOPICS == (
             "ctrl.*", "fault.*", "federation.*", "guard.*", "link.*",
-            "recv.*", "tree.*"
+            "recv.*", "tree.*", "workload.*"
         )
 
     def test_registry_covers_known_topics(self):
@@ -421,6 +421,7 @@ class TestBench:
             "topo_a_cbr_8rx",
             "topo_b_vbr_4sess",
             "chaos_storm",
+            "crowd_flash_256rx",
         }
         totals = result["totals"]
         assert totals["events"] > 0

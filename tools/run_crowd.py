@@ -1,0 +1,130 @@
+"""Run the flash-crowd workload sweep, deterministically.
+
+The default run is exactly ``python -m repro crowd --seed 1``; this tool
+adds workload-spec round-tripping for crowd-as-regression-test workflows:
+
+    # run the sweep and save the (smallest point's) workload spec
+    python tools/run_crowd.py --seed 1 --sizes 32 --save-spec crowd.json
+
+    # replay the saved spec (bit-identical result for the same seed)
+    python tools/run_crowd.py --seed 1 --sizes 32 --spec crowd.json
+
+    # machine-readable output for CI; --strip-timings removes the only
+    # non-deterministic fields (per-point wall clock) so two same-spec
+    # runs diff to nothing
+    python tools/run_crowd.py --seed 1 --json --strip-timings > result.json
+
+Exits non-zero when the JSON-round-trip replay diverges, when a lossy
+point shows no congestive-vs-wireless misattribution, when the control
+bytes per live receiver exceed the declared bound, or when the federated
+flash crowds fail to fully join.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.crowd import (  # noqa: E402
+    CONTROL_BYTES_PER_LIVE_BOUND,
+    DEFAULT_DURATION,
+    DEFAULT_MAX_CONTROLLED,
+    build_crowd_scenario,
+    default_crowd_spec,
+    edge_node_names,
+    render_crowd_report,
+    run_crowd,
+    strip_timings,
+)
+from repro.workloads import WorkloadSpec  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--duration", type=float, default=DEFAULT_DURATION)
+    parser.add_argument("--sizes", type=str, default="64,10000",
+                        help="comma-separated flash-crowd sizes")
+    parser.add_argument("--loss", type=str, default="0,0.15",
+                        help="comma-separated wireless channel loss rates")
+    parser.add_argument("--edges", type=int, default=8)
+    parser.add_argument("--sessions", type=int, default=2)
+    parser.add_argument("--incumbents", type=int, default=4)
+    parser.add_argument("--max-controlled", type=int,
+                        default=DEFAULT_MAX_CONTROLLED)
+    parser.add_argument("--control-bound", type=float,
+                        default=CONTROL_BYTES_PER_LIVE_BOUND)
+    parser.add_argument("--federated-crowd", type=int, default=32,
+                        help="per-domain crowd on the federated plane "
+                             "(0 skips it)")
+    parser.add_argument("--spec", type=str, default=None,
+                        help="JSON workload spec to replay "
+                             "(requires a single --sizes entry)")
+    parser.add_argument("--save-spec", type=str, default=None,
+                        help="write the smallest point's workload spec "
+                             "to this JSON file")
+    parser.add_argument("--strip-timings", action="store_true",
+                        help="drop wall-clock fields from --json output")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the full result as JSON")
+    args = parser.parse_args(argv)
+
+    sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+    loss_rates = [float(lo) for lo in args.loss.split(",") if lo.strip()]
+
+    spec = None
+    if args.spec:
+        try:
+            with open(args.spec) as fh:
+                spec = WorkloadSpec.from_dict(json.load(fh))
+        except (OSError, ValueError, KeyError) as exc:
+            parser.error(f"cannot load workload spec {args.spec!r}: {exc}")
+
+    if args.save_spec:
+        if spec is None:
+            _sc, session_ids = build_crowd_scenario(
+                seed=args.seed, n_edges=args.edges,
+                n_sessions=args.sessions, incumbents=args.incumbents,
+            )
+            size = min(sizes)
+            mode = ("controlled" if size <= args.max_controlled
+                    else "static")
+            spec_out = default_crowd_spec(
+                size, edge_node_names(args.edges), session_ids,
+                duration=args.duration, seed=args.seed, mode=mode,
+            )
+        else:
+            spec_out = spec
+        with open(args.save_spec, "w") as fh:
+            json.dump(spec_out.to_dict(), fh, indent=2)
+
+    try:
+        result = run_crowd(
+            seed=args.seed,
+            duration=args.duration,
+            sizes=sizes,
+            loss_rates=loss_rates,
+            n_edges=args.edges,
+            n_sessions=args.sessions,
+            incumbents=args.incumbents,
+            max_controlled=args.max_controlled,
+            control_bound=args.control_bound,
+            federated_crowd=args.federated_crowd,
+            spec=spec,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    if args.json:
+        out = strip_timings(result) if args.strip_timings else result
+        print(json.dumps(out, indent=2, default=str))
+    else:
+        print(render_crowd_report(result))
+    return 0 if result["ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
