@@ -1,11 +1,21 @@
-"""Static analysis: the ``repro lint`` determinism & contract linter.
+"""Static & dynamic analysis: ``repro lint`` and ``repro sanitize``.
 
 ``python -m repro lint`` (or ``tools/run_lint.py``) walks ``src/``,
 ``tools/`` and ``tests/`` and enforces the repo-specific rule catalogue
-R001-R005 (DESIGN.md §11).  Exit codes are CLI-conventional: 0 clean,
-1 findings, 2 internal error.
+R001-R008 (DESIGN.md §11 and §16) — the per-file determinism rules, the
+cross-file contract checkers, and the interprocedural whole-program
+rules R006 (shard isolation) / R007 (RNG provenance) built on the
+call-graph + effect summaries in :mod:`repro.analysis.callgraph` and
+:mod:`repro.analysis.effects`.  Exit codes are CLI-conventional: 0
+clean, 1 findings, 2 internal error.
+
+``python -m repro sanitize`` (or ``tools/run_sanitize.py``) is the
+runtime counterpart: a parallel federated run under the
+:class:`~repro.analysis.sanitize.SharedStateSanitizer` plus an N-seed
+sequential-vs-parallel determinism fuzz.
 """
 
+from .callgraph import CallGraph, build_callgraph, get_callgraph
 from .contracts import MessageSchemaRule, TopicContractRule
 from .engine import (
     FileContext,
@@ -14,13 +24,17 @@ from .engine import (
     LintResult,
     Project,
     Rule,
+    UNUSED_SUPPRESSION_CODE,
     default_rules,
     load_project,
     run_lint,
 )
+from .flow import RngProvenanceRule, ShardIsolationRule
 from .rules import NoFloatEqualityRule, NoSetIterationRule, NoWallClockRule
+from .sanitize import SanitizerError, SharedStateSanitizer
 
 __all__ = [
+    "CallGraph",
     "FileContext",
     "Finding",
     "LintError",
@@ -30,9 +44,16 @@ __all__ = [
     "NoSetIterationRule",
     "NoWallClockRule",
     "Project",
+    "RngProvenanceRule",
     "Rule",
+    "SanitizerError",
+    "SharedStateSanitizer",
+    "ShardIsolationRule",
     "TopicContractRule",
+    "UNUSED_SUPPRESSION_CODE",
+    "build_callgraph",
     "default_rules",
+    "get_callgraph",
     "load_project",
     "run_lint",
 ]

@@ -1,0 +1,529 @@
+"""Per-function effect summaries for the whole-program analyzer.
+
+The interprocedural rules (R006 shard isolation, R007 RNG provenance —
+see :mod:`repro.analysis.flow`) need to know, for every function in
+``src/repro``, *what state it touches* and *what it calls*.  This module
+extracts that summary from the already-parsed AST of one function:
+
+* writes — to ``self`` attributes, to attributes/elements of parameters,
+  to module-level names (direct ``global`` assignment or mutation of a
+  module-level container/object), and to class attributes;
+* calls and references — every call site in a resolvable shape, plus
+  bare references to functions (a callback handed to the scheduler is an
+  edge: the analyzer must assume it runs);
+* RNG events — constructions (``numpy.random.default_rng`` and friends,
+  with the seed's provenance and whether the call sits inside a loop),
+  draw sites (``.random()``, ``.integers()``, …) with the receiver's
+  shape, and stores of RNG-valued expressions onto ``self``.
+
+Nested ``def``/``class`` bodies are *not* part of the enclosing
+function's effects — they are summarised separately and linked by a
+definition edge, because defining a closure is how callbacks escape into
+the scheduler.  Lambdas, by contrast, are folded into the enclosing
+function.
+
+Everything here is a *summary*: resolution of names to classes, modules
+and functions is the call graph's job (:mod:`repro.analysis.callgraph`).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "CallRef",
+    "FunctionEffects",
+    "MUTATOR_METHODS",
+    "NameWrite",
+    "ParamWrite",
+    "RNG_CONSTRUCTORS",
+    "RNG_METHODS",
+    "RngConstruct",
+    "RngDraw",
+    "RngStore",
+    "SelfWrite",
+    "bound_names",
+    "extract_effects",
+]
+
+#: Method names that mutate their receiver in place.  Used to classify
+#: ``X.append(...)`` on a module-level / parameter / ``self`` root as a
+#: write to that root's state.
+MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "add", "discard", "update", "setdefault", "appendleft", "popleft",
+    "sort", "reverse", "__setitem__",
+})
+
+#: Dotted call names that construct a numpy RNG.
+RNG_CONSTRUCTORS = frozenset({
+    "np.random.default_rng", "numpy.random.default_rng",
+    "np.random.Generator", "numpy.random.Generator",
+    "default_rng",
+})
+
+#: Draw methods of ``numpy.random.Generator`` (and the registry's
+#: ``fork``) whose receiver must have registry provenance.
+RNG_METHODS = frozenset({
+    "random", "integers", "choice", "shuffle", "normal", "uniform",
+    "exponential", "poisson", "standard_normal", "permutation", "zipf",
+    "geometric", "binomial", "lognormal",
+})
+
+
+@dataclass(frozen=True)
+class NameWrite:
+    """Write rooted at a non-local name (module global, import, class)."""
+
+    root: str
+    attr: str          # attribute / "[]" for subscript / "" for rebind
+    line: int
+    via: str           # "assign" | "augassign" | "del" | "mutator"
+
+
+@dataclass(frozen=True)
+class SelfWrite:
+    attr: str
+    line: int
+    via: str
+
+
+@dataclass(frozen=True)
+class ParamWrite:
+    param: str
+    attr: str
+    line: int
+    via: str
+
+
+@dataclass(frozen=True)
+class RngConstruct:
+    line: int
+    in_loop: bool
+    seed_kind: str     # "none" | "constant" | "derived"
+    callee: str
+
+
+@dataclass(frozen=True)
+class RngDraw:
+    """A ``<receiver>.<method>()`` draw; ``shape`` describes the receiver."""
+
+    shape: Tuple[str, ...]   # ("self", attr) | ("name", n) | ("fork",) | ("expr",)
+    method: str
+    line: int
+
+
+@dataclass(frozen=True)
+class RngStore:
+    """``self.<attr> = <rng-valued expression>`` inside a method."""
+
+    attr: str
+    line: int
+
+
+@dataclass(frozen=True)
+class CallRef:
+    """One call site (or escaping function reference) in resolvable shape.
+
+    ``shape`` is one of::
+
+        ("name", fn)             f(...)          — plain-name call
+        ("self", m)              self.m(...)     — method on self
+        ("selfattr", a, m)       self.a.m(...)   — method on a self attribute
+        ("obj", n, m)            n.m(...)        — method on a named object
+        ("dyn", m)               <expr>.m(...)   — method on a dynamic receiver
+        ("ref", fn)              f               — bare reference (callback)
+        ("selfref", m)           self.m          — bare method reference
+    """
+
+    shape: Tuple[str, ...]
+    line: int
+
+
+@dataclass
+class FunctionEffects:
+    name_writes: List[NameWrite] = field(default_factory=list)
+    self_writes: List[SelfWrite] = field(default_factory=list)
+    param_writes: List[ParamWrite] = field(default_factory=list)
+    global_decls: Tuple[str, ...] = ()
+    rng_constructs: List[RngConstruct] = field(default_factory=list)
+    rng_draws: List[RngDraw] = field(default_factory=list)
+    rng_stores: List[RngStore] = field(default_factory=list)
+    calls: List[CallRef] = field(default_factory=list)
+    #: Local name -> type name, from ``x = ClassName(...)`` bindings.
+    local_types: Dict[str, str] = field(default_factory=dict)
+    #: Local name -> RNG provenance kind ("fork" | "construct" |
+    #: "fallback" | "param" | "selfattr" | "name:<other>").
+    rng_locals: Dict[str, str] = field(default_factory=dict)
+
+
+def dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for an attribute chain rooted at a plain name."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def chain_root(node: ast.AST) -> ast.AST:
+    """The expression at the root of an attribute/subscript chain."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node
+
+
+def _first_attr(node: ast.AST) -> str:
+    """Innermost attribute/subscript hop off the chain root."""
+    hops: List[str] = []
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        hops.append(node.attr if isinstance(node, ast.Attribute) else "[]")
+        node = node.value
+    return hops[-1] if hops else ""
+
+
+def _is_rng_construct(node: ast.Call) -> Optional[str]:
+    name = dotted(node.func)
+    if name is None:
+        return None
+    if name in RNG_CONSTRUCTORS or name.endswith(".default_rng"):
+        return name
+    return None
+
+
+def _seed_kind(node: ast.Call) -> str:
+    if not node.args and not node.keywords:
+        return "none"
+    if len(node.args) == 1 and not node.keywords:
+        arg = node.args[0]
+        if isinstance(arg, ast.Constant):
+            return "constant"
+        if (isinstance(arg, ast.UnaryOp)
+                and isinstance(arg.operand, ast.Constant)):
+            return "constant"
+    return "derived"
+
+
+def _is_fork_call(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "fork")
+
+
+def _is_fallback_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    name = dotted(node.func)
+    return name is not None and name.split(".")[-1] == "fallback_rng"
+
+
+class _EffectVisitor(ast.NodeVisitor):
+    """Walk one function body, skipping nested def/class bodies."""
+
+    def __init__(
+        self,
+        fn: ast.AST,
+        params: Tuple[str, ...],
+        outer_locals: Tuple[str, ...] = (),
+    ) -> None:
+        self.fn = fn
+        self.params = set(params)
+        self.out = FunctionEffects()
+        self.loop_depth = 0
+        # Closure captures of an *enclosing function's* locals are that
+        # function's state, not module globals — a nested callback that
+        # mutates one is touching whatever object graph its encloser
+        # belongs to, which the call graph attributes to the encloser.
+        self._locals = set(params) | set(outer_locals)
+        self._globals: set = set()
+        self._collect_scope(fn)
+        self.out.global_decls = tuple(sorted(self._globals))
+
+    # -- scope discovery ------------------------------------------------
+    def _collect_scope(self, fn: ast.AST) -> None:
+        """Names bound locally (so writes to them are not global writes)."""
+        for node in _own_nodes(fn):
+            if isinstance(node, ast.Global):
+                self._globals.update(node.names)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                for t in targets:
+                    self._add_bound_names(t)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                self._add_bound_names(node.target)
+            elif isinstance(node, ast.comprehension):
+                self._add_bound_names(node.target)
+            elif isinstance(node, (ast.withitem,)):
+                if node.optional_vars is not None:
+                    self._add_bound_names(node.optional_vars)
+            elif isinstance(node, ast.ExceptHandler) and node.name:
+                self._locals.add(node.name)
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    self._locals.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                   ast.ClassDef)):
+                self._locals.add(node.name)
+        self._locals -= self._globals
+
+    def _add_bound_names(self, target: ast.AST) -> None:
+        """Record names a target actually *binds* in this scope.
+
+        Only Store-context names count: in ``Registry.cache[k] = v`` the
+        name ``Registry`` is a Load-context read of an outer name, not a
+        local binding — treating it as local would hide the write.
+        """
+        for n in ast.walk(target):
+            if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Store):
+                self._locals.add(n.id)
+
+    # -- generic traversal that skips nested scopes ---------------------
+    def generic_visit(self, node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                continue
+            self.visit(child)
+
+    # Nested defs get their own FunctionEffects via the call graph's
+    # nested-scope walk; visiting their bodies here would double-count
+    # every effect (once for the closure, once for the enclosing frame).
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        pass
+
+    def visit_For(self, node: ast.For) -> None:
+        self._visit_loop(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._visit_loop(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._visit_loop(node)
+
+    def _visit_loop(self, node: ast.AST) -> None:
+        self.loop_depth += 1
+        self.generic_visit(node)
+        self.loop_depth -= 1
+
+    # -- writes ---------------------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record_write(target, "assign", node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._record_write(node.target, "assign", node.value)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record_write(node.target, "augassign", None)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                self._record_write(target, "del", None)
+        self.generic_visit(node)
+
+    def _record_write(self, target: ast.AST, via: str,
+                      value: Optional[ast.AST]) -> None:
+        line = getattr(target, "lineno", 1)
+        if isinstance(target, ast.Name):
+            if target.id in self._globals:
+                self.out.name_writes.append(
+                    NameWrite(target.id, "", line, via))
+            elif value is not None:
+                self._record_binding(target.id, value)
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for el in target.elts:
+                self._record_write(el, via, None)
+            return
+        if not isinstance(target, (ast.Attribute, ast.Subscript)):
+            return
+        root = chain_root(target)
+        attr = _first_attr(target)
+        if isinstance(root, ast.Name):
+            if root.id == "self" and "self" in self.params:
+                self.out.self_writes.append(SelfWrite(attr, line, via))
+                if (via == "assign" and isinstance(target, ast.Attribute)
+                        and target.value is root and value is not None
+                        and self._rng_valued(value)):
+                    self.out.rng_stores.append(RngStore(attr, line))
+            elif root.id in self.params:
+                self.out.param_writes.append(
+                    ParamWrite(root.id, attr, line, via))
+            elif root.id not in self._locals:
+                self.out.name_writes.append(
+                    NameWrite(root.id, attr, line, via))
+        elif isinstance(root, ast.Call):
+            # ``type(self).attr = ...`` — a class-attribute write.
+            name = dotted(root.func)
+            if name == "type" and root.args:
+                self.out.name_writes.append(
+                    NameWrite("type(...)", attr, line, via))
+
+    def _record_binding(self, name: str, value: ast.AST) -> None:
+        """Track local ``x = ClassName(...)`` / RNG provenance bindings."""
+        if isinstance(value, ast.Call):
+            callee = dotted(value.func)
+            if callee is not None and "." not in callee:
+                self.out.local_types[name] = callee
+        kind = self._rng_provenance(value)
+        if kind is not None:
+            self.out.rng_locals[name] = kind
+
+    def _rng_provenance(self, value: ast.AST) -> Optional[str]:
+        if _is_fork_call(value):
+            return "fork"
+        if _is_fallback_call(value):
+            return "fallback"
+        if isinstance(value, ast.Call) and _is_rng_construct(value):
+            return "construct"
+        if isinstance(value, ast.Name):
+            if value.id in self.params:
+                return "param"
+            if value.id in self.out.rng_locals:
+                return self.out.rng_locals[value.id]
+            return None
+        if (isinstance(value, ast.Attribute)
+                and isinstance(value.value, ast.Name)
+                and value.value.id == "self"):
+            return "selfattr"
+        if isinstance(value, ast.IfExp):
+            a = self._rng_provenance(value.body)
+            b = self._rng_provenance(value.orelse)
+            if a is not None and b is not None:
+                return a if a != "param" else b
+            return a or b
+        return None
+
+    def _rng_valued(self, value: ast.AST) -> bool:
+        """Is this expression *definitely* an RNG?
+
+        Construction/fork/fallback calls always are.  A bare name or
+        ``self`` attribute only counts when it is spelled like one
+        (``rng`` in the name) — ``self.bus = bus`` must not register as
+        an RNG store just because ``bus`` is a parameter.
+        """
+        kind = self._rng_provenance(value)
+        if kind in ("fork", "construct", "fallback"):
+            return True
+        if isinstance(value, ast.Name):
+            return kind is not None and "rng" in value.id.lower()
+        if isinstance(value, ast.Attribute):
+            return kind == "selfattr" and "rng" in value.attr.lower()
+        return False
+
+    # -- calls, draws, constructions ------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        line = node.lineno
+        ctor = _is_rng_construct(node)
+        if ctor is not None:
+            self.out.rng_constructs.append(RngConstruct(
+                line, self.loop_depth > 0, _seed_kind(node), ctor))
+        func = node.func
+        if isinstance(func, ast.Name):
+            self.out.calls.append(CallRef(("name", func.id), line))
+        elif isinstance(func, ast.Attribute):
+            recv, m = func.value, func.attr
+            if m in RNG_METHODS:
+                self.out.rng_draws.append(
+                    RngDraw(self._draw_shape(recv), m, line))
+            if m in MUTATOR_METHODS:
+                self._record_mutator(recv, m, line)
+            if isinstance(recv, ast.Name):
+                if recv.id == "self" and "self" in self.params:
+                    self.out.calls.append(CallRef(("self", m), line))
+                else:
+                    self.out.calls.append(CallRef(("obj", recv.id, m), line))
+            elif (isinstance(recv, ast.Attribute)
+                    and isinstance(recv.value, ast.Name)
+                    and recv.value.id == "self"):
+                self.out.calls.append(
+                    CallRef(("selfattr", recv.attr, m), line))
+            else:
+                self.out.calls.append(CallRef(("dyn", m), line))
+        # A function handed to another call is assumed to run eventually.
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            self._record_ref(arg, line)
+        self.generic_visit(node)
+
+    def _draw_shape(self, recv: ast.AST) -> Tuple[str, ...]:
+        if (isinstance(recv, ast.Attribute)
+                and isinstance(recv.value, ast.Name)
+                and recv.value.id == "self"):
+            return ("self", recv.attr)
+        if isinstance(recv, ast.Name):
+            return ("name", recv.id)
+        if _is_fork_call(recv) or _is_fallback_call(recv):
+            return ("fork",)
+        return ("expr",)
+
+    def _record_mutator(self, recv: ast.AST, method: str, line: int) -> None:
+        root = chain_root(recv)
+        if not isinstance(root, ast.Name):
+            return
+        attr = _first_attr(recv) or method
+        if root.id == "self" and "self" in self.params:
+            self.out.self_writes.append(SelfWrite(attr, line, "mutator"))
+        elif root.id in self.params:
+            self.out.param_writes.append(
+                ParamWrite(root.id, attr, line, "mutator"))
+        elif root.id not in self._locals:
+            self.out.name_writes.append(
+                NameWrite(root.id, attr, line, "mutator"))
+
+    def _record_ref(self, arg: ast.AST, line: int) -> None:
+        if isinstance(arg, ast.Name):
+            self.out.calls.append(CallRef(("ref", arg.id), line))
+        elif (isinstance(arg, ast.Attribute)
+                and isinstance(arg.value, ast.Name)
+                and arg.value.id == "self"):
+            self.out.calls.append(CallRef(("selfref", arg.attr), line))
+
+
+def _own_nodes(fn: ast.AST):
+    """All nodes of a function body, not descending into nested scopes."""
+    stack = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def extract_effects(
+    fn: ast.AST,
+    params: Tuple[str, ...],
+    outer_locals: Tuple[str, ...] = (),
+) -> FunctionEffects:
+    """The effect summary of one function node (nested scopes excluded).
+
+    ``outer_locals`` carries the enclosing function's bound names when
+    ``fn`` is a nested def, so closure-capture writes are not mistaken
+    for module-global writes.
+    """
+    visitor = _EffectVisitor(fn, params, outer_locals)
+    for stmt in fn.body:  # type: ignore[attr-defined]
+        visitor.visit(stmt)
+    return visitor.out
+
+
+def bound_names(fn: ast.AST, params: Tuple[str, ...]) -> Tuple[str, ...]:
+    """Every name ``fn`` binds locally (params, assignments, loops, …)."""
+    return tuple(sorted(_EffectVisitor(fn, params)._locals))

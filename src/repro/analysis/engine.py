@@ -22,9 +22,10 @@ from __future__ import annotations
 
 import ast
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from time import perf_counter
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 __all__ = [
     "FileContext",
@@ -33,6 +34,7 @@ __all__ = [
     "LintResult",
     "Project",
     "Rule",
+    "UNUSED_SUPPRESSION_CODE",
     "default_rules",
     "load_project",
     "noqa_lines",
@@ -117,6 +119,11 @@ class Project:
         self.docs: Dict[str, str] = dict(docs or {})
         self.root = root
         self._by_path = {ctx.rel_path: ctx for ctx in self.files}
+        #: Shared per-run analysis cache.  Expensive whole-program artifacts
+        #: (the interprocedural call graph) are built once here and reused
+        #: by every rule that needs them — the ASTs themselves are already
+        #: shared via :class:`FileContext`.
+        self.cache: Dict[str, object] = {}
 
     def file(self, rel_path: str) -> Optional[FileContext]:
         return self._by_path.get(rel_path)
@@ -157,6 +164,9 @@ class LintResult:
     findings: List[Finding]
     files_scanned: int
     rules: Tuple[str, ...]
+    #: Wall time spent inside each rule (plus the engine's ``R008``
+    #: unused-suppression sweep), keyed by rule code.
+    timings_ms: Dict[str, float] = field(default_factory=dict)
 
     @property
     def clean(self) -> bool:
@@ -170,18 +180,20 @@ class LintResult:
 
     def to_json(self) -> Dict[str, object]:
         return {
-            "version": 1,
+            "version": 2,
             "clean": self.clean,
             "files_scanned": self.files_scanned,
             "rules": list(self.rules),
             "counts": self.counts(),
+            "timings_ms": {k: round(v, 3) for k, v in self.timings_ms.items()},
             "findings": [f.to_json() for f in self.findings],
         }
 
 
 def default_rules() -> List[Rule]:
-    """The repo's rule catalogue, R001-R005 (DESIGN.md §11)."""
+    """The repo's rule catalogue, R001-R007 (DESIGN.md §11, §16)."""
     from .contracts import MessageSchemaRule, TopicContractRule
+    from .flow import RngProvenanceRule, ShardIsolationRule
     from .rules import NoFloatEqualityRule, NoSetIterationRule, NoWallClockRule
 
     return [
@@ -190,6 +202,8 @@ def default_rules() -> List[Rule]:
         NoSetIterationRule(),
         TopicContractRule(),
         MessageSchemaRule(),
+        ShardIsolationRule(),
+        RngProvenanceRule(),
     ]
 
 
@@ -231,34 +245,71 @@ def load_project(root: str = ".", subdirs: Sequence[str] = SCAN_DIRS) -> Project
     return Project(contexts, docs, root=root_path)
 
 
+#: Engine-level code for unused ``# repro: noqa[RXXX]`` suppressions.  It
+#: is not a :class:`Rule`: deciding whether a suppression is *used* needs
+#: the post-filter view of every other rule's findings, so the engine owns
+#: the sweep.  Only codes belonging to rules active in this run count —
+#: a single-rule invocation can't judge another rule's suppressions.
+UNUSED_SUPPRESSION_CODE = "R008"
+
+
 def run_lint(
     root: str = ".",
     rules: Optional[Sequence[Rule]] = None,
     project: Optional[Project] = None,
 ) -> LintResult:
-    """Apply ``rules`` (default: the R001-R005 catalogue) and collect findings.
+    """Apply ``rules`` (default: the R001-R007 catalogue) and collect findings.
 
     ``# repro: noqa[RXXX]`` on a finding's line suppresses it, for file and
-    project rules alike.  Findings come back sorted by path, line, code.
+    project rules alike.  A suppression for an active rule that suppresses
+    nothing is itself a finding (``R008``) so excuses can't outlive the code
+    they excuse.  Findings come back sorted by path, line, code; per-rule
+    wall time lands in :attr:`LintResult.timings_ms`.
     """
     if project is None:
         project = load_project(root)
     active = list(default_rules() if rules is None else rules)
     findings: List[Finding] = []
+    timings: Dict[str, float] = {}
     for rule in active:
+        t0 = perf_counter()
         for ctx in project.files:
             if rule.applies_to(ctx.rel_path):
                 findings.extend(rule.check_file(ctx))
         findings.extend(rule.check_project(project))
+        timings[rule.code] = timings.get(rule.code, 0.0) + (
+            perf_counter() - t0) * 1000.0
     kept = []
+    used: Set[Tuple[str, int, str]] = set()
     for f in findings:
         ctx = project.file(f.path)
         if ctx is not None and ctx.suppressed(f.line, f.code):
+            used.add((f.path, f.line, f.code))
             continue
         kept.append(f)
+    t0 = perf_counter()
+    active_codes = {r.code for r in active}
+    for ctx in project.files:
+        for line, codes in ctx.noqa.items():
+            for code in sorted(codes & active_codes):
+                if (ctx.rel_path, line, code) in used:
+                    continue
+                f = Finding(
+                    path=ctx.rel_path,
+                    line=line,
+                    code=UNUSED_SUPPRESSION_CODE,
+                    message=(
+                        f"unused suppression: noqa[{code}] excuses no "
+                        f"{code} finding on this line — remove it"
+                    ),
+                )
+                if not ctx.suppressed(line, UNUSED_SUPPRESSION_CODE):
+                    kept.append(f)
+    timings[UNUSED_SUPPRESSION_CODE] = (perf_counter() - t0) * 1000.0
     kept.sort()
     return LintResult(
         findings=kept,
         files_scanned=len(project.files),
-        rules=tuple(r.code for r in active),
+        rules=tuple([r.code for r in active] + [UNUSED_SUPPRESSION_CODE]),
+        timings_ms=timings,
     )

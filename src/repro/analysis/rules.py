@@ -8,7 +8,7 @@ R001
     randomness must flow through the seeded
     :class:`~repro.simnet.rng.RngRegistry`; simulated time comes from the
     scheduler.  Artifact metadata that is wall-clock *by design* (run
-    directory stamps, manifests) carries ``# repro: noqa[R001]``.
+    directory stamps, manifests) carries a ``repro: noqa[R001]`` comment.
 R002
     No direct float ``==``/``!=`` against float literals in ``core/`` and
     ``metrics/`` math — exact comparison of computed floats is a latent
@@ -96,7 +96,7 @@ class NoWallClockRule(Rule):
             return None
         if name in self.WALL_CLOCK:
             return (f"wall-clock call `{name}` — simulated time comes from the "
-                    "scheduler; artifact metadata needs `# repro: noqa[R001]`")
+                    "scheduler; artifact metadata needs a `repro: noqa[R001]`")
         if name in self.WALL_CLOCK_IF_ARGLESS and not node.args and not node.keywords:
             return (f"argless `{name}` reads the wall clock — pass an explicit "
                     "time value or suppress for artifact metadata")

@@ -1,0 +1,387 @@
+"""Runtime TSan-lite: shared-state write tracing for parallel shard runs.
+
+The static pass (R006, :mod:`repro.analysis.flow`) proves what it can
+*resolve*; this module is the dynamic backstop for what it can't —
+writes through aliases, dict entries, callbacks built at runtime.  The
+:class:`SharedStateSanitizer` instruments ``__setattr__`` on every
+``repro.*`` class and, while a federated run is in flight, attributes
+each attribute write to the *scope* that made it:
+
+* inside :meth:`shard_scope` (bound around ``DomainShard.run_to`` by
+  :class:`~repro.federation.session.FederatedSession` when a sanitizer
+  is attached) the scope is the shard's domain label;
+* everywhere else — construction, barrier-time exchange, merges — the
+  scope is ``None`` and writes are ignored: the calling thread is the
+  sanctioned merge point.
+
+Rules enforced on scoped writes:
+
+1. writing an object *adopted as shared* (the coordinator and the
+   inter-domain channel object graphs) is a violation — a shard thread
+   must never touch the shared control plane;
+2. the first scoped write to any other object claims it for that
+   domain; a later write from a *different* domain is a violation.
+
+Scopes are domain labels rather than thread ids on purpose: the same
+cross-shard bug is caught in sequential mode too, and a pool that
+recycles one thread across shards can't mask it.  Granularity is the
+*attribute write*: element-level mutation of a shared dict/list through
+a pre-existing reference is invisible here — that residue is what the
+seed-perturbation fuzz (:func:`run_sanitize`) and the federation
+mode-identity gate cover.
+
+``python -m repro sanitize`` runs a parallel federated smoke under the
+sanitizer, then fuzzes N seeds × sequential-vs-parallel and diffs the
+timing-stripped fingerprints.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+__all__ = [
+    "SanitizerError",
+    "SharedStateSanitizer",
+    "WriteViolation",
+    "render_sanitize_report",
+    "run_sanitize",
+]
+
+
+class SanitizerError(RuntimeError):
+    """A cross-scope write was detected with ``raise_on_violation`` set."""
+
+
+@dataclass(frozen=True)
+class WriteViolation:
+    """One illegal scoped write."""
+
+    scope: str            # domain label that performed the write
+    owner: str            # owning domain, or "<shared>" for adopted objects
+    cls: str              # class of the written object
+    attr: str             # attribute written
+    kind: str             # "shared" | "cross-scope"
+
+    def describe(self) -> str:
+        if self.kind == "shared":
+            return (f"shard '{self.scope}' wrote shared state "
+                    f"{self.cls}.{self.attr}")
+        return (f"shard '{self.scope}' wrote {self.cls}.{self.attr} "
+                f"owned by shard '{self.owner}'")
+
+
+class SharedStateSanitizer:
+    """Record the owning scope of every ``repro.*`` object written.
+
+    Use as a context manager around the run::
+
+        san = SharedStateSanitizer(raise_on_violation=False)
+        with san:
+            fed = FederatedSession(views, parallel=True, sanitizer=san)
+            fed.run(duration)
+        assert not san.violations
+
+    Installation snapshots every class's *resolved* ``__setattr__``
+    first and only then installs wrappers, so a subclass wrapper calls
+    the pre-instrumentation original directly and hooks never chain.
+    The original runs *before* the hook: a frozen dataclass that raises
+    still raises, and never records a write that didn't happen.
+    """
+
+    def __init__(self, raise_on_violation: bool = True) -> None:
+        self.raise_on_violation = raise_on_violation
+        self.violations: List[WriteViolation] = []
+        self.writes_checked = 0
+        self._tls = threading.local()
+        self._installed: List[Tuple[type, Optional[Any]]] = []
+        self._owners: Dict[int, str] = {}
+        self._shared: Set[int] = set()
+        #: Strong refs to claimed/adopted objects so ``id()`` reuse can't
+        #: mis-attribute a fresh object to a dead one's owner.
+        self._refs: List[Any] = []
+
+    # -- installation ----------------------------------------------------
+    def install(self) -> None:
+        if self._installed:
+            raise SanitizerError("sanitizer already installed")
+        classes = self._target_classes()
+        originals: List[Tuple[type, Any, Optional[Any]]] = []
+        for cls in classes:
+            try:
+                resolved = cls.__setattr__
+                own = cls.__dict__.get("__setattr__")
+            except Exception:  # metaclass refuses introspection
+                continue
+            originals.append((cls, resolved, own))
+        for cls, resolved, own in originals:
+            wrapper = _make_wrapper(resolved, self._on_write, cls.__name__)
+            try:
+                setattr(cls, "__setattr__", wrapper)
+            except Exception:  # enums / extension types may refuse
+                continue
+            self._installed.append((cls, own))
+
+    def uninstall(self) -> None:
+        for cls, own in self._installed:
+            try:
+                if own is not None:
+                    setattr(cls, "__setattr__", own)
+                else:
+                    delattr(cls, "__setattr__")
+            except Exception:
+                pass
+        self._installed = []
+
+    def __enter__(self) -> "SharedStateSanitizer":
+        self.install()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.uninstall()
+
+    @staticmethod
+    def _target_classes() -> List[type]:
+        """Every class defined by an imported ``repro.*`` module.
+
+        The sanitizer's own module is skipped (its bookkeeping must not
+        trip itself), as is the analysis package generally — lint code
+        never runs inside a shard scope.
+        """
+        out: List[type] = []
+        for mod_name in sorted(sys.modules):
+            if not (mod_name == "repro" or mod_name.startswith("repro.")):
+                continue
+            if mod_name.startswith("repro.analysis"):
+                continue
+            mod = sys.modules[mod_name]
+            for value in vars(mod).values():
+                if (isinstance(value, type)
+                        and getattr(value, "__module__", "") == mod_name):
+                    out.append(value)
+        return out
+
+    # -- scoping ---------------------------------------------------------
+    @contextmanager
+    def shard_scope(self, domain: str) -> Iterator[None]:
+        """All writes inside this block belong to shard ``domain``."""
+        prev = getattr(self._tls, "scope", None)
+        self._tls.scope = domain
+        try:
+            yield
+        finally:
+            self._tls.scope = prev
+
+    def adopt_shared(self, root: Any) -> int:
+        """Mark ``root`` and its reachable ``repro.*`` objects as shared.
+
+        Any later *scoped* write to one of them is a violation.  Returns
+        the number of objects adopted.
+        """
+        adopted = 0
+        seen: Set[int] = set()
+        stack: List[Any] = [root]
+        while stack:
+            obj = stack.pop()
+            oid = id(obj)
+            if oid in seen:
+                continue
+            seen.add(oid)
+            if isinstance(obj, dict):
+                stack.extend(obj.values())
+                continue
+            if isinstance(obj, (list, tuple, set, frozenset)):
+                stack.extend(obj)
+                continue
+            cls_mod = getattr(type(obj), "__module__", "")
+            if not cls_mod.startswith("repro."):
+                continue
+            if oid not in self._shared:
+                self._shared.add(oid)
+                self._refs.append(obj)
+                adopted += 1
+            inner = getattr(obj, "__dict__", None)
+            if inner is not None:
+                stack.extend(inner.values())
+        return adopted
+
+    # -- the hook --------------------------------------------------------
+    def _on_write(self, obj: Any, cls_name: str, attr: str) -> None:
+        scope = getattr(self._tls, "scope", None)
+        if scope is None:
+            return  # calling-thread merge point: sanctioned
+        self.writes_checked += 1
+        oid = id(obj)
+        if oid in self._shared:
+            self._record(WriteViolation(
+                scope=scope, owner="<shared>", cls=cls_name,
+                attr=attr, kind="shared",
+            ))
+            return
+        if oid not in self._owners:
+            self._refs.append(obj)
+        owner = self._owners.setdefault(oid, scope)
+        if owner != scope:
+            self._record(WriteViolation(
+                scope=scope, owner=owner, cls=cls_name,
+                attr=attr, kind="cross-scope",
+            ))
+
+    def _record(self, violation: WriteViolation) -> None:
+        self.violations.append(violation)
+        if self.raise_on_violation:
+            raise SanitizerError(violation.describe())
+
+
+def _make_wrapper(
+    orig: Callable[..., None],
+    hook: Callable[[Any, str, str], None],
+    cls_name: str,
+) -> Callable[..., None]:
+    def __setattr__(self: Any, name: str, value: Any) -> None:
+        orig(self, name, value)
+        hook(self, cls_name, name)
+
+    return __setattr__
+
+
+# ---------------------------------------------------------------------------
+# The ``repro sanitize`` experiment: sanitized parallel smoke + seed fuzz.
+# ---------------------------------------------------------------------------
+
+def _fingerprint(
+    seed: int,
+    duration: float,
+    n_domains: int,
+    receivers_per_domain: int,
+    cadence: float,
+    parallel: bool,
+    sanitizer: Optional[SharedStateSanitizer],
+) -> Dict[str, Any]:
+    """Timing-stripped replay fingerprint of one federated run."""
+    from ..federation.experiment import build_federated_views
+    from ..federation.session import FederatedSession
+
+    views = build_federated_views(
+        n_domains, receivers_per_domain, seed=seed, traffic="cbr"
+    )
+    fed = FederatedSession(
+        views, seed=seed, cadence=cadence, parallel=parallel,
+        sanitizer=sanitizer,
+    )
+    fed.run(duration)
+    advice = {
+        str(sid): {
+            "ceiling": a.ceiling,
+            "floor": a.floor,
+            "receivers": a.receiver_count,
+            "bottleneck_bps": round(a.bottleneck_bps, 1),
+        }
+        for sid, a in sorted(
+            fed.coordinator.session_advice.items(), key=lambda kv: str(kv[0])
+        )
+    }
+    return {
+        "rounds": fed.rounds_completed,
+        "events": fed.events_processed,
+        "events_per_domain": {
+            name: fed.shards[name].scenario.sched.events_processed
+            for name in sorted(fed.shards)
+        },
+        "advice": advice,
+        "coordinator": {
+            "summaries_received": fed.coordinator.summaries_received,
+            "merges": fed.coordinator.merges,
+            "peak_tracked": fed.coordinator.peak_tracked,
+            "rejected_messages": fed.coordinator.rejected_messages,
+        },
+        "control_bytes": fed.control_bytes_by_tier(),
+    }
+
+
+def run_sanitize(
+    seed: int = 1,
+    duration: float = 24.0,
+    n_domains: int = 4,
+    receivers_per_domain: int = 8,
+    cadence: float = 4.0,
+    fuzz_seeds: int = 3,
+) -> Dict[str, Any]:
+    """Sanitized parallel federated run + sequential-vs-parallel seed fuzz.
+
+    For each of ``fuzz_seeds`` consecutive seeds: run the same federation
+    sequentially (no sanitizer — the reference trajectory) and in
+    parallel under a collecting :class:`SharedStateSanitizer`, then diff
+    the timing-stripped fingerprints.  The run *passes* only if every
+    parallel run is violation-free **and** bit-identical to its
+    sequential twin.
+    """
+    if fuzz_seeds < 1:
+        raise ValueError("fuzz_seeds must be >= 1")
+    # Import the federation stack before installing: the sanitizer
+    # instruments only classes already defined.
+    from ..federation import experiment as _exp  # noqa: F401
+
+    checks: List[Dict[str, Any]] = []
+    for s in range(seed, seed + fuzz_seeds):
+        fp_seq = _fingerprint(
+            s, duration, n_domains, receivers_per_domain, cadence,
+            parallel=False, sanitizer=None,
+        )
+        san = SharedStateSanitizer(raise_on_violation=False)
+        with san:
+            fp_par = _fingerprint(
+                s, duration, n_domains, receivers_per_domain, cadence,
+                parallel=True, sanitizer=san,
+            )
+        checks.append({
+            "seed": s,
+            "identical": fp_seq == fp_par,
+            "violations": [v.describe() for v in san.violations],
+            "writes_checked": san.writes_checked,
+            "events": fp_par["events"],
+            "rounds": fp_par["rounds"],
+        })
+    ok = all(c["identical"] and not c["violations"] for c in checks)
+    return {
+        "ok": ok,
+        "seed": seed,
+        "fuzz_seeds": fuzz_seeds,
+        "n_domains": n_domains,
+        "receivers_per_domain": receivers_per_domain,
+        "duration": duration,
+        "cadence": cadence,
+        "checks": checks,
+    }
+
+
+def render_sanitize_report(result: Dict[str, Any]) -> str:
+    lines = [
+        "shared-state sanitizer & determinism fuzz",
+        f"  domains={result['n_domains']} "
+        f"receivers/domain={result['receivers_per_domain']} "
+        f"duration={result['duration']}s seeds={result['fuzz_seeds']}",
+        "",
+    ]
+    for c in result["checks"]:
+        verdict = ("ok" if c["identical"] and not c["violations"]
+                   else "FAIL")
+        lines.append(
+            f"  seed {c['seed']}: {verdict}  "
+            f"(events={c['events']}, rounds={c['rounds']}, "
+            f"scoped writes checked={c['writes_checked']}, "
+            f"violations={len(c['violations'])}, "
+            f"seq==par: {c['identical']})"
+        )
+        for v in c["violations"][:5]:
+            lines.append(f"    violation: {v}")
+    lines.append("")
+    lines.append(
+        "PASS: parallel runs are race-free and bit-identical to sequential"
+        if result["ok"] else
+        "FAIL: cross-shard write or sequential/parallel divergence detected"
+    )
+    return "\n".join(lines)

@@ -30,6 +30,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..media.receiver import LayeredReceiver
+from ..simnet.rng import fallback_rng
 
 __all__ = ["RLMReceiver"]
 
@@ -60,7 +61,7 @@ class RLMReceiver:
         self.deaf_time = deaf_time
         self.t_join_init = t_join_init
         self.t_join_max = t_join_max
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = rng if rng is not None else fallback_rng()
         n = receiver.schedule.n_layers
         #: Current join-timer duration per layer (1-based index).
         self.join_timer: Dict[int, float] = {l: t_join_init for l in range(1, n + 1)}

@@ -13,9 +13,14 @@ Usage::
     python -m repro fedchaos --seed 1 [--loss 0.05,0.2] [--windows 3,4] [--json]
     python -m repro bench [--quick] [--baseline BENCH_x.json]
     python -m repro lint [--json] [--root DIR]
+    python -m repro sanitize [--fuzz-seeds 3] [--domains 4] [--json]
 
-``lint`` runs the determinism & contract linter (rules R001-R005,
-DESIGN.md §11) and exits 0 when clean, 1 on findings, 2 on internal error.
+``lint`` runs the determinism & contract linter (rules R001-R008 — incl.
+the interprocedural shard-isolation/RNG-provenance rules, DESIGN.md §11
+and §16) and exits 0 when clean, 1 on findings, 2 on internal error.
+``sanitize`` runs a parallel federated smoke under the runtime
+shared-state sanitizer and fuzzes N seeds sequential-vs-parallel
+(exit 1 on any cross-shard write or replay divergence).
 
 ``REPRO_FULL=1`` switches every experiment to the paper's 1200 s horizon.
 ``demo``, ``chaos``, ``byzantine``, ``churn``, ``federate`` and
@@ -449,6 +454,28 @@ def _cmd_lint(args) -> int:
     return 0 if result.clean else 1
 
 
+def _cmd_sanitize(args) -> None:
+    from .analysis.sanitize import render_sanitize_report, run_sanitize
+
+    try:
+        result = run_sanitize(
+            seed=args.seed,
+            duration=args.duration or 24.0,
+            n_domains=args.domains,
+            receivers_per_domain=args.receivers_per_domain,
+            cadence=args.cadence,
+            fuzz_seeds=args.fuzz_seeds,
+        )
+    except ValueError as exc:
+        sys.exit(f"sanitize: {exc}")
+    if args.json:
+        print(json.dumps(result, indent=2, default=str))
+    else:
+        print(render_sanitize_report(result))
+    if not result["ok"]:
+        sys.exit(1)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``python -m repro`` / the ``repro`` console script."""
     parser = argparse.ArgumentParser(
@@ -664,13 +691,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     lint = sub.add_parser(
         "lint",
-        help="run the determinism & contract linter (rules R001-R005)",
+        help="run the determinism & contract linter (rules R001-R008, "
+             "incl. interprocedural R006/R007)",
     )
     lint.add_argument("--json", action="store_true",
-                      help="emit the machine-readable findings document")
+                      help="emit the machine-readable findings document "
+                           "(version 2: includes per-rule timings_ms)")
     lint.add_argument("--root", type=str, default=".",
                       help="repo root to scan (default: .)")
     lint.set_defaults(fn=_cmd_lint)
+
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="parallel federated run under the shared-state sanitizer "
+             "plus an N-seed sequential-vs-parallel determinism fuzz",
+    )
+    sanitize.add_argument("--seed", type=int, default=1)
+    sanitize.add_argument("--duration", type=float, default=None,
+                          help="simulated seconds per run (default 24)")
+    sanitize.add_argument("--domains", type=int, default=4,
+                          help="number of domains (default 4)")
+    sanitize.add_argument("--receivers-per-domain", type=int, default=8,
+                          help="receivers per domain (default 8)")
+    sanitize.add_argument("--cadence", type=float, default=4.0,
+                          help="federation round cadence (default 4)")
+    sanitize.add_argument("--fuzz-seeds", type=int, default=3,
+                          help="consecutive seeds to fuzz (default 3)")
+    sanitize.add_argument("--json", action="store_true",
+                          help="emit the JSON result document")
+    sanitize.set_defaults(fn=_cmd_sanitize)
 
     args = parser.parse_args(argv)
     rc = args.fn(args)

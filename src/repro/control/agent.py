@@ -49,6 +49,7 @@ from ..core.types import ReceiverReport, SessionInput, SuggestionSet
 from ..media.receiver import LayeredReceiver
 from ..simnet.node import Node
 from ..simnet.packet import CONTROL, Packet
+from ..simnet.rng import fallback_rng
 from .discovery import DiscoveryUnavailable, TopologyDiscovery
 from .guard import ReportGuard
 from .messages import (
@@ -102,7 +103,7 @@ class ReceiverAgent:
         self._candidate_index = 0
         self.controller_node = self.controller_candidates[0]
         self.interval = interval
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = rng if rng is not None else fallback_rng()
         self.unilateral_after = unilateral_after
         self.loss_threshold = loss_threshold
         self.register_retries = register_retries

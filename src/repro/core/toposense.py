@@ -28,6 +28,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..simnet.rng import fallback_rng
 from .bottleneck import compute_bottlenecks, compute_handleable
 from .capacity import LinkCapacityEstimator, LinkObservation
 from .config import TopoSenseConfig
@@ -60,7 +61,7 @@ class TopoSense:
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         self.config = config if config is not None else TopoSenseConfig()
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = rng if rng is not None else fallback_rng()
         self.state = ControllerState()
         self.estimator = LinkCapacityEstimator(self.config)
         self._last_update: Optional[float] = None

@@ -77,7 +77,7 @@ class InterDomainChannel:
 
     DIRECTIONS = ("up", "down")
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0) -> None:
         self.seed = int(seed)
         self._rngs: Dict[Tuple[str, str], Any] = {}
         #: Domains currently cut off in both directions.

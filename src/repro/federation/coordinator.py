@@ -39,7 +39,7 @@ __all__ = ["FederationCoordinator"]
 class FederationCoordinator:
     """Root of the federation hierarchy: session-level layer advice."""
 
-    def __init__(self, bus: Optional[Any] = None, epoch: int = 1):
+    def __init__(self, bus: Optional[Any] = None, epoch: int = 1) -> None:
         self.bus = bus
         #: Fencing token stamped on every advice; a failover standby is
         #: built with ``epoch = deposed.epoch + 1``.

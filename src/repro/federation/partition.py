@@ -103,7 +103,7 @@ def gateways_for_tier(scenario: Any, tier: str = "regional") -> Dict[str, Any]:
 class DomainPartitioner:
     """Splits a built scenario into independent per-domain views."""
 
-    def __init__(self, assignment: Mapping[Any, str]):
+    def __init__(self, assignment: Mapping[Any, str]) -> None:
         """``assignment`` maps nodes to domain names.  Unassigned nodes
         (the source, backbone core, ...) belong to no domain and appear in
         no view."""

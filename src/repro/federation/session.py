@@ -70,6 +70,7 @@ class FederatedSession:
         backoff_base: float = 0.1,
         staleness_budget: int = 2,
         decay_floor: int = 1,
+        sanitizer: Optional[Any] = None,
     ):
         if cadence <= 0:
             raise ValueError("cadence must be positive")
@@ -124,6 +125,19 @@ class FederatedSession:
                     )
         self.rounds_completed = 0
         self.now = 0.0
+        #: Optional :class:`~repro.analysis.sanitize.SharedStateSanitizer`:
+        #: shard advances run inside per-domain scopes and the shared
+        #: control plane (coordinator, channel) is adopted so any scoped
+        #: write to it is flagged.
+        self.sanitizer = sanitizer
+        self._adopt_shared()
+
+    def _adopt_shared(self) -> None:
+        if self.sanitizer is None:
+            return
+        self.sanitizer.adopt_shared(self.coordinator)
+        if self.channel is not None:
+            self.sanitizer.adopt_shared(self.channel)
 
     # ------------------------------------------------------------------
     @property
@@ -203,10 +217,11 @@ class FederatedSession:
                     _advance_one,
                     [self.shards[name] for name in sorted(self.shards)],
                     [target] * len(self.shards),
+                    [self.sanitizer] * len(self.shards),
                 ))
         else:
             laps = [
-                _advance_one(self.shards[name], target)
+                _advance_one(self.shards[name], target, self.sanitizer)
                 for name in sorted(self.shards)
             ]
         if self.profiler is not None:
@@ -317,6 +332,7 @@ class FederatedSession:
         standby.resume_from(old.replicated_summaries())
         self._retired.append(old)
         self.coordinator = standby
+        self._adopt_shared()
         self.coordinator_failovers += 1
         self.failover_rounds.append(self.rounds_completed + 1)
         if self.bus is not None:
@@ -375,7 +391,13 @@ class FederatedSession:
         return sum(self.control_bytes_by_tier().values())
 
 
-def _advance_one(shard: DomainShard, target: float) -> Any:
+def _advance_one(
+    shard: DomainShard, target: float, sanitizer: Optional[Any] = None,
+) -> Any:
     t0 = perf_counter()
-    shard.run_to(target)
+    if sanitizer is None:
+        shard.run_to(target)
+    else:
+        with sanitizer.shard_scope(str(shard.domain)):
+            shard.run_to(target)
     return (str(shard.domain), perf_counter() - t0)

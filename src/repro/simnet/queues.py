@@ -111,9 +111,9 @@ class REDQueue(DropTailQueue):
         self.wq = wq
         self.avg = 0.0
         if rng is None:  # pragma: no cover - exercised via explicit rng in tests
-            import numpy as np
+            from .rng import fallback_rng
 
-            rng = np.random.default_rng(0)
+            rng = fallback_rng()
         self._rng = rng
 
     def _drop_probability(self) -> float:

@@ -15,7 +15,22 @@ from typing import Dict, Optional
 
 import numpy as np
 
-__all__ = ["RngRegistry"]
+__all__ = ["RngRegistry", "fallback_rng"]
+
+
+def fallback_rng() -> np.random.Generator:
+    """The sanctioned registry-less default generator (seed 0).
+
+    Components accept an optional ``rng`` and most callers pass a
+    registry-forked stream; the unit-test convenience path that passes
+    nothing still needs *a* deterministic generator.  Centralising the
+    fallback here keeps the constant seed in exactly one module — lint
+    rule R007 flags constant-seeded construction anywhere else — and
+    makes the fallback searchable when hunting accidental stream sharing.
+    Each call returns a fresh generator, so two components falling back
+    do not interleave draws on one stream.
+    """
+    return np.random.default_rng(0)
 
 
 class RngRegistry:

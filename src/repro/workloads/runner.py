@@ -24,7 +24,7 @@ Bus topics emitted here (``workload.join`` / ``workload.leave`` /
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from .spec import WorkloadSpec
 
@@ -109,7 +109,7 @@ class WorkloadRunner:
         sc.workload = self
         return self
 
-    def _first_packet_probe(self, receiver_id: Any):
+    def _first_packet_probe(self, receiver_id: Any) -> Callable[[float], None]:
         def probe(now: float) -> None:
             joined = self._pending_join.pop(receiver_id, None)
             if joined is not None:

@@ -19,7 +19,7 @@ compiled onto a scenario by :class:`~repro.workloads.runner.WorkloadRunner`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .builders import assign_sessions, diurnal_leave_times, flash_crowd_times
 
@@ -39,7 +39,7 @@ class ReceiverSpec:
     mode: str = "controlled"
     controller: str = "default"
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.mode not in ("controlled", "rlm", "static"):
             raise ValueError(f"unknown receiver mode {self.mode!r}")
 
@@ -52,7 +52,7 @@ class WorkloadEvent:
     kind: str
     receiver_id: Any
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.time < 0:
             raise ValueError(f"event time must be >= 0, got {self.time}")
         if self.kind not in WORKLOAD_KINDS:
@@ -295,7 +295,7 @@ class WorkloadSpec:
     def __len__(self) -> int:
         return len(self.events)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[WorkloadEvent]:
         return iter(self.events)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

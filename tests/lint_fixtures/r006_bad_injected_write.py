@@ -1,0 +1,24 @@
+"""Known-bad R006: the static twin of the runtime injected-write test.
+
+Mirrors ``tests/test_sanitize.py``'s ``LeakyShard``: a shard that keeps
+a class-level reference to the shared coordinator and pokes it from
+inside ``run_to``.  The runtime sanitizer catches this dynamically; the
+R006 rule must catch it statically (exactly one finding, at the poke).
+"""
+
+
+class FederationCoordinator:
+    def __init__(self):
+        self.summaries = {}
+
+
+class DomainShard:
+    coordinator = None
+
+    def __init__(self, domain):
+        self.domain = domain
+        self.clock = 0.0
+
+    def run_to(self, target):
+        self.clock = target
+        DomainShard.coordinator.poked = self.domain  # the R006 violation

@@ -1,0 +1,20 @@
+"""Known-bad R006: a shared-ok declaration that excuses nothing.
+
+``tidy`` writes no shared state and is not even reachable from a shard
+entry point, so its ``# repro: shared-ok[R006]`` marker is stale — the
+rule reports it (exactly one finding) so declarations can't outlive the
+code they excuse.
+"""
+
+
+def tidy(values):  # repro: shared-ok[R006]
+    return sorted(values)
+
+
+class DomainShard:
+    def __init__(self, domain):
+        self.domain = domain
+        self.clock = 0.0
+
+    def run_to(self, target):
+        self.clock = target

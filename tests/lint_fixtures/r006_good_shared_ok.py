@@ -1,0 +1,23 @@
+"""Known-good R006: a sanctioned merge point carries the shared-ok mark.
+
+The coordinator merge is invoked from shard-reachable code here (so the
+analyzer sees the shared write), but the author has declared it a
+calling-thread merge point with ``# repro: shared-ok[R006]`` — zero
+findings, and the declaration counts as *used*.
+"""
+
+MERGED = []
+
+
+def merge_summary(summary):  # repro: shared-ok[R006]
+    MERGED.append(summary)
+
+
+class DomainShard:
+    def __init__(self, domain):
+        self.domain = domain
+        self.pending = []
+
+    def run_to(self, target):
+        self.pending.append(target)
+        merge_summary((self.domain, target))

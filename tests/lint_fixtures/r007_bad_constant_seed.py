@@ -1,0 +1,12 @@
+"""Known-bad R007: constant-seeded RNG construction in component code.
+
+Outside ``repro.simnet.rng`` a constant seed means the "random" stream
+is identical on every call.  Exactly one finding, at the construction.
+"""
+
+import numpy as np
+
+
+class BackoffPolicy:
+    def __init__(self, rng=None):
+        self.rng = rng if rng is not None else np.random.default_rng(7)

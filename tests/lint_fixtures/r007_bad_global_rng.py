@@ -1,0 +1,13 @@
+"""Known-bad R007: a module-level RNG singleton, drawn from in a function.
+
+Two findings: one at the singleton assignment (every caller and every
+shard shares the stream) and one at the draw that uses it.
+"""
+
+import numpy as np
+
+SHARED_RNG = np.random.default_rng(1234)
+
+
+def sample_backoff(scale):
+    return scale * SHARED_RNG.random()

@@ -1,0 +1,16 @@
+"""Known-bad R007: RNG construction inside a loop.
+
+Re-constructing per iteration replays the same stream every pass;
+the generator must be hoisted (or forked per-iteration with a derived
+name).  Exactly one finding, at the construction.
+"""
+
+from numpy.random import default_rng
+
+
+def jitter_all(intervals):
+    out = []
+    for base in intervals:
+        rng = default_rng()  # the R007 violation: re-seeding in a loop
+        out.append(base + rng.random())
+    return out

@@ -1,0 +1,14 @@
+"""Known-bad R007: an RNG stored on cross-shard coordinator state.
+
+The seed is properly derived, but the generator lives on the shared
+``FederationCoordinator`` — any shard drawing from it would consume
+draws from its siblings' stream.  Exactly one finding, at the store.
+"""
+
+from numpy.random import default_rng
+
+
+class FederationCoordinator:
+    def __init__(self, seed):
+        self.summaries = {}
+        self.rng = default_rng(seed)  # the R007 violation: shared store

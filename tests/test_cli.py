@@ -196,3 +196,32 @@ class TestLintExitCodes:
         (tmp_path / "src" / "oops.py").write_text("this is not python (\n")
         assert main(["lint", "--root", str(tmp_path)]) == 2
         assert "lint:" in capsys.readouterr().err
+
+
+class TestSanitizeCli:
+    """``repro sanitize``: pass exits zero, report names the verdict."""
+
+    def test_small_run_passes(self, capsys):
+        rc = main([
+            "sanitize", "--seed", "1", "--duration", "10",
+            "--domains", "2", "--receivers-per-domain", "4",
+            "--fuzz-seeds", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "seed 1: ok" in out
+
+    def test_json_document(self, capsys):
+        rc = main([
+            "sanitize", "--seed", "2", "--duration", "10",
+            "--domains", "2", "--receivers-per-domain", "4",
+            "--fuzz-seeds", "1", "--json",
+        ])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["checks"][0]["identical"] is True
+
+    def test_bad_fuzz_seeds_is_usage_error(self):
+        with pytest.raises(SystemExit):
+            main(["sanitize", "--fuzz-seeds", "0", "--duration", "5"])

@@ -231,7 +231,17 @@ class TestEngineAndCli:
         result = run_lint(root=str(REPO_ROOT))
         assert result.findings == []
         assert result.files_scanned > 100
-        assert result.rules == ("R001", "R002", "R003", "R004", "R005")
+        assert result.rules == (
+            "R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008",
+        )
+
+    def test_repo_lint_reports_per_rule_timings(self):
+        result = run_lint(root=str(REPO_ROOT))
+        assert set(result.timings_ms) == set(result.rules)
+        assert all(t >= 0.0 for t in result.timings_ms.values())
+        # the perf satellite's budget: whole-repo lint, interprocedural
+        # rules included, stays well under ~5 s
+        assert sum(result.timings_ms.values()) < 5000.0
 
     def test_fixture_dir_is_excluded_from_walk(self):
         result = run_lint(root=str(REPO_ROOT))
@@ -272,10 +282,11 @@ class TestEngineAndCli:
 
         assert main(["lint", "--root", str(tmp_path), "--json"]) == 1
         doc = json.loads(capsys.readouterr().out)
-        assert doc["version"] == 1
+        assert doc["version"] == 2
         assert doc["clean"] is False
         assert doc["files_scanned"] == 1
         assert doc["counts"] == {"R002": 1}
+        assert set(doc["timings_ms"]) == set(doc["rules"])
         (finding,) = doc["findings"]
         assert finding == {
             "path": "src/repro/core/bad.py",

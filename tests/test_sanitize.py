@@ -1,0 +1,164 @@
+"""The runtime shared-state sanitizer (TSan-lite for federated runs).
+
+Unit tests drive the ownership protocol directly (claim, same-scope
+re-write, cross-scope write, adopted-shared write, unscoped merge),
+then an integration test injects a deliberate cross-thread write — a
+``DomainShard`` subclass that pokes the shared coordinator from inside
+``run_to`` — and asserts the sanitizer catches it in both collect and
+raise modes.  The same defect's *static* twin lives in
+``tests/lint_fixtures/r006_bad_injected_write.py`` (see
+``tests/test_callgraph.py``), so the injected race is caught by both
+halves of the analyzer.  Finally a small ``run_sanitize`` smoke pins
+the sequential-vs-parallel determinism fuzz.
+"""
+
+import pytest
+
+from repro.analysis import SanitizerError, SharedStateSanitizer
+from repro.analysis.sanitize import run_sanitize
+from repro.federation.coordinator import FederationCoordinator
+from repro.federation.experiment import build_federated_views
+from repro.federation.session import FederatedSession
+from repro.federation.shard import DomainShard
+
+
+class TestOwnershipProtocol:
+    def test_unscoped_writes_are_sanctioned_merges(self):
+        with SharedStateSanitizer() as san:
+            coord = FederationCoordinator()
+            coord.merges = 1  # no shard scope active: calling-thread merge
+        assert san.violations == []
+        assert san.writes_checked == 0
+
+    def test_scoped_write_claims_then_same_scope_ok(self):
+        with SharedStateSanitizer() as san:
+            coord = FederationCoordinator()
+            with san.shard_scope("a"):
+                coord.merges = 1
+                coord.merges = 2
+        assert san.violations == []
+        assert san.writes_checked == 2
+
+    def test_cross_scope_write_is_a_violation(self):
+        with SharedStateSanitizer(raise_on_violation=False) as san:
+            coord = FederationCoordinator()
+            with san.shard_scope("a"):
+                coord.merges = 1
+            with san.shard_scope("b"):
+                coord.merges = 2
+        (v,) = san.violations
+        assert v.kind == "cross-scope"
+        assert v.scope == "b" and v.owner == "a"
+        assert "owned by shard 'a'" in v.describe()
+
+    def test_adopted_shared_write_is_a_violation(self):
+        with SharedStateSanitizer(raise_on_violation=False) as san:
+            coord = FederationCoordinator()
+            assert san.adopt_shared(coord) >= 1
+            with san.shard_scope("a"):
+                coord.merges = 1
+        (v,) = san.violations
+        assert v.kind == "shared"
+        assert "wrote shared state" in v.describe()
+
+    def test_raise_mode_raises_on_first_violation(self):
+        with SharedStateSanitizer() as san:
+            coord = FederationCoordinator()
+            san.adopt_shared(coord)
+            with pytest.raises(SanitizerError):
+                with san.shard_scope("a"):
+                    coord.merges = 1
+
+    def test_uninstall_restores_setattr(self):
+        san = SharedStateSanitizer(raise_on_violation=False)
+        with san:
+            pass
+        coord = FederationCoordinator()
+        san.adopt_shared(coord)
+        with san.shard_scope("a"):
+            coord.merges = 1  # hook gone: nothing recorded
+        assert san.violations == []
+        assert type(coord).__dict__.get("__setattr__") is None
+
+    def test_double_install_refused(self):
+        with SharedStateSanitizer() as san:
+            with pytest.raises(SanitizerError):
+                san.install()
+
+
+class LeakyShard(DomainShard):
+    """Test-only defect: pokes the shared coordinator from run_to.
+
+    This is the runtime twin of the static fixture
+    ``r006_bad_injected_write.py`` — the same write pattern that R006
+    flags when it appears in package code.
+    """
+
+    coordinator = None  # class-level ref set by the test
+
+    def run_to(self, t: float) -> None:
+        LeakyShard.coordinator.poked = str(self.domain)
+        super().run_to(t)
+
+
+def leaky_session(san):
+    views = build_federated_views(
+        n_domains=2, receivers_per_domain=4, seed=1
+    )
+    fed = FederatedSession(views, seed=1, parallel=True, sanitizer=san)
+    LeakyShard.coordinator = fed.coordinator
+    fed.shards = {
+        name: LeakyShard(shard.view, seed=1)
+        for name, shard in fed.shards.items()
+    }
+    return fed
+
+
+class TestInjectedCrossThreadWrite:
+    def test_collect_mode_records_shared_violations(self):
+        san = SharedStateSanitizer(raise_on_violation=False)
+        with san:
+            fed = leaky_session(san)
+            fed.run(8.0)
+        shared = [v for v in san.violations if v.kind == "shared"]
+        assert shared, "the injected coordinator poke must be caught"
+        assert all(v.attr == "poked" for v in shared)
+        assert all(v.cls == "FederationCoordinator" for v in shared)
+
+    def test_raise_mode_fails_the_run(self):
+        san = SharedStateSanitizer(raise_on_violation=True)
+        with san:
+            fed = leaky_session(san)
+            with pytest.raises(SanitizerError, match="shared state"):
+                fed.run(8.0)
+
+    def test_clean_session_has_no_violations(self):
+        san = SharedStateSanitizer(raise_on_violation=True)
+        with san:
+            views = build_federated_views(
+                n_domains=2, receivers_per_domain=4, seed=1
+            )
+            fed = FederatedSession(
+                views, seed=1, parallel=True, sanitizer=san
+            )
+            fed.run(8.0)
+        assert san.violations == []
+        assert san.writes_checked > 0  # scopes were actually active
+
+
+class TestRunSanitize:
+    def test_fuzz_passes_and_matches_sequential(self):
+        result = run_sanitize(
+            seed=1, duration=12.0, n_domains=2,
+            receivers_per_domain=4, fuzz_seeds=2,
+        )
+        assert result["ok"] is True
+        assert len(result["checks"]) == 2
+        for check in result["checks"]:
+            assert check["identical"] is True
+            assert check["violations"] == []
+            assert check["writes_checked"] > 0
+
+    def test_fuzz_seeds_validated(self):
+        with pytest.raises(ValueError):
+            run_sanitize(fuzz_seeds=0)

@@ -1,0 +1,20 @@
+#!/usr/bin/env python
+"""Run the shared-state sanitizer smoke without installing the package.
+
+Equivalent to ``PYTHONPATH=src python -m repro sanitize``; forwards all
+arguments (``--fuzz-seeds``, ``--domains``, ``--json``, ...) and exits
+non-zero if any parallel run races or diverges from its sequential twin.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(["sanitize", *sys.argv[1:]]))
